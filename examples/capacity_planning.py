@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many metadata servers does a workload need?
+
+A downstream-user scenario: given an expected workload shape (here the RA
+authentication profile, the most update-heavy of the three paper traces) and
+a throughput requirement, sweep cluster sizes under D2-Tree until the target
+is met with acceptable tail latency — and compare the bill against the best
+comparator scheme.
+
+Run:  python examples/capacity_planning.py [target_ops_per_sec]
+"""
+
+import sys
+
+from repro import (
+    D2TreeScheme,
+    DatasetProfile,
+    StaticSubtreeScheme,
+    TraceGenerator,
+    simulate,
+)
+
+LATENCY_SLO_MS = 60.0  # p95 budget
+
+
+def smallest_cluster(scheme_factory, workload, target_throughput):
+    """First cluster size meeting throughput and the p95 SLO (or None)."""
+    for num_servers in range(2, 33, 2):
+        result = simulate(scheme_factory(), workload, num_servers)
+        ok = (
+            result.throughput >= target_throughput
+            and result.latency.p95 * 1e3 <= LATENCY_SLO_MS
+        )
+        yield num_servers, result, ok
+        if ok:
+            return
+
+
+def main() -> None:
+    target = float(sys.argv[1]) if len(sys.argv) > 1 else 6000.0
+    profile = DatasetProfile.ra(num_nodes=8000, scale=5e-5)
+    print(f"workload: {profile.name} ({profile.num_operations} ops, "
+          f"16% updates)\ntarget: {target:.0f} ops/s at p95 <= {LATENCY_SLO_MS:.0f} ms\n")
+
+    for factory in (D2TreeScheme, StaticSubtreeScheme):
+        name = factory().name
+        print(f"--- {name} ---")
+        answer = None
+        for num_servers, result, ok in smallest_cluster(factory, profile_workload(profile), target):
+            marker = "  <-- meets target" if ok else ""
+            print(f"  M={num_servers:<3} {result.throughput:8.0f} ops/s  "
+                  f"p95={result.latency.p95 * 1e3:6.1f} ms{marker}")
+            if ok:
+                answer = num_servers
+                break
+        if answer is None:
+            print("  target not reachable within 32 servers")
+        else:
+            print(f"  => provision {answer} metadata servers\n")
+
+
+_WORKLOAD_CACHE = {}
+
+
+def profile_workload(profile):
+    if profile not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[profile] = TraceGenerator(profile).generate()
+    return _WORKLOAD_CACHE[profile]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Replay a synthetic Microsoft-style trace through the simulated cluster.
+
+Generates the DTR (Development Tools Release) workload at a laptop-friendly
+scale, replays it through every scheme on an 8-server cluster with 200
+closed-loop clients, and prints throughput / latency / routing statistics —
+one row of the paper's Fig. 5 experiment.
+
+Run:  python examples/trace_replay.py [trace] [servers]
+      trace ∈ {dtr, lmbe, ra}, default dtr; servers default 8
+"""
+
+import sys
+
+from repro import (
+    AngleCutScheme,
+    D2TreeScheme,
+    DatasetProfile,
+    DropScheme,
+    DynamicSubtreeScheme,
+    StaticSubtreeScheme,
+    TraceGenerator,
+    simulate,
+)
+
+PROFILES = {
+    "dtr": lambda: DatasetProfile.dtr(num_nodes=8000, scale=2e-4),
+    "lmbe": lambda: DatasetProfile.lmbe(num_nodes=8000, scale=1e-4),
+    "ra": lambda: DatasetProfile.ra(num_nodes=8000, scale=5e-5),
+}
+
+
+def main() -> None:
+    trace_name = sys.argv[1].lower() if len(sys.argv) > 1 else "dtr"
+    num_servers = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    profile = PROFILES[trace_name]()
+    print(f"generating {profile.name}: {profile.num_nodes} nodes, "
+          f"{profile.num_operations} operations ...")
+    workload = TraceGenerator(profile).generate()
+    breakdown = workload.trace.operation_breakdown()
+    print("operation mix: " + "  ".join(
+        f"{op.value}={fraction * 100:.1f}%" for op, fraction in breakdown.items()
+    ))
+    print(f"hot-set share of accesses: {workload.hot_hit_fraction() * 100:.1f}%\n")
+
+    schemes = [
+        D2TreeScheme(),
+        StaticSubtreeScheme(),
+        DynamicSubtreeScheme(),
+        DropScheme(),
+        AngleCutScheme(),
+    ]
+    print(f"replaying against {num_servers} metadata servers, 200 clients:")
+    for scheme in schemes:
+        result = simulate(scheme, workload, num_servers)
+        print(f"  {result.scheme:<18} {result.throughput:8.0f} ops/s   "
+              f"p50={result.latency.p50 * 1e3:6.2f}ms  "
+              f"p95={result.latency.p95 * 1e3:6.2f}ms  "
+              f"jumps/op={result.mean_jumps:4.2f}  "
+              f"migrations={result.migrations}")
+
+
+if __name__ == "__main__":
+    main()

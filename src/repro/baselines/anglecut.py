@@ -1,0 +1,166 @@
+"""AngleCut: locality-preserving hashing onto multiple Chord-like rings.
+
+Liu et al. (DASFAA'17) project the namespace tree onto several Chord-like
+rings with a locality-preserving hash and place metadata by ring position.
+This reproduction follows that structure: a node's *angle* is its preorder
+position (locality-preserving within a ring) and its *ring* is chosen by
+depth, so adjacent tree levels live on different rings. Every server owns one
+arc per ring; arcs are sized to carry capacity-proportional popularity
+(recomputed on rebalance, mirroring AngleCut's ring re-weighting).
+
+The consequences the paper reports fall out directly: balance is excellent
+(arcs track popularity quantiles per ring, Fig. 7) while locality is poor and
+degrades with cluster size — consecutive path components sit on different
+rings, whose arcs rarely line up on the same server (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.placement import MetadataScheme, Migration, Placement
+from repro.baselines.drop import preorder_keys
+from repro.core.namespace import NamespaceTree
+from repro.core.node import MetadataNode
+
+__all__ = ["AngleCutScheme", "AngleCutPlacement"]
+
+
+class AngleCutPlacement(Placement):
+    """Placement defined by per-ring arc boundaries over node angles."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        num_rings: int,
+        angles: Dict[MetadataNode, Tuple[int, float]],
+        capacities: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(num_servers, capacities)
+        self.num_rings = num_rings
+        #: node -> (ring index, angle in [0, 1)).
+        self.angles = angles
+        #: per-ring interior arc boundaries, server k owns [b_k, b_{k+1}).
+        self.ring_boundaries: List[List[float]] = [
+            [(k + 1) / num_servers for k in range(num_servers - 1)]
+            for _ in range(num_rings)
+        ]
+
+    def server_for(self, ring: int, angle: float) -> int:
+        """Arc owner of ``angle`` on ``ring`` (with per-ring rotation).
+
+        The rotation offsets successive rings by one server so a single
+        server does not own the same angular window on every ring — the
+        Chord-style placement AngleCut uses to spread correlated prefixes.
+        """
+        arc = bisect.bisect_right(self.ring_boundaries[ring], angle)
+        return (arc + ring) % self.num_servers
+
+    def apply_boundaries(self) -> None:
+        """Reassign every node according to the current arc boundaries."""
+        for node, (ring, angle) in self.angles.items():
+            self.assign(node, self.server_for(ring, angle))
+
+    def forget(self, node) -> bool:
+        """Drop a node and its ring projection."""
+        self.angles.pop(node, None)
+        return super().forget(node)
+
+
+class AngleCutScheme(MetadataScheme):
+    """Multi-ring locality-preserving hashing."""
+
+    name = "anglecut"
+
+    def __init__(self, num_rings: int = 4) -> None:
+        if num_rings < 1:
+            raise ValueError("need at least one ring")
+        self.num_rings = num_rings
+
+    def _project(self, tree: NamespaceTree) -> Dict[MetadataNode, Tuple[int, float]]:
+        """Project the namespace tree onto the rings."""
+        keys = preorder_keys(tree)
+        return {
+            node: (node.depth % self.num_rings, key) for node, key in keys.items()
+        }
+
+    def partition(
+        self,
+        tree: NamespaceTree,
+        num_servers: int,
+        capacities: Optional[Sequence[float]] = None,
+    ) -> AngleCutPlacement:
+        tree.ensure_popularity()
+        placement = AngleCutPlacement(
+            num_servers, self.num_rings, self._project(tree), capacities
+        )
+        placement.ring_boundaries = self._quantile_boundaries(placement)
+        placement.apply_boundaries()
+        placement.validate_complete(tree)
+        return placement
+
+    def rebalance(
+        self,
+        tree: NamespaceTree,
+        placement: AngleCutPlacement,  # type: ignore[override]
+    ) -> List[Migration]:
+        """Re-fit arc boundaries to the current popularity distribution."""
+        tree.ensure_popularity()
+        new_boundaries = self._quantile_boundaries(placement)
+        migrations: List[Migration] = []
+        if new_boundaries != placement.ring_boundaries:
+            old = {node: placement.primary_of(node) for node in placement.angles}
+            placement.ring_boundaries = new_boundaries
+            placement.apply_boundaries()
+            for node in placement.angles:
+                new = placement.primary_of(node)
+                if new != old[node]:
+                    migrations.append(Migration(node, old[node], new))
+        return migrations
+
+    def place_created(self, tree, placement, node):
+        """Project the new node: ring by depth, angle next to its parent."""
+        ring = node.depth % placement.num_rings
+        parent_entry = placement.angles.get(node.parent)
+        angle = parent_entry[1] if parent_entry is not None else 0.0
+        placement.angles[node] = (ring, angle)
+        server = placement.server_for(ring, angle)
+        placement.assign(node, server)
+        return server
+
+    @staticmethod
+    def _quantile_boundaries(placement: AngleCutPlacement) -> List[List[float]]:
+        """Per-ring boundaries carrying capacity-proportional popularity."""
+        cap_total = sum(placement.capacities)
+        shares = [cap / cap_total for cap in placement.capacities]
+        boundaries: List[List[float]] = []
+        for ring in range(placement.num_rings):
+            entries = sorted(
+                (angle, node.individual_popularity + 1e-9)
+                for node, (r, angle) in placement.angles.items()
+                if r == ring
+            )
+            total = sum(weight for _a, weight in entries)
+            ring_bounds: List[float] = []
+            # Arc k on this ring belongs to server (k + ring) % M; size each
+            # arc to its owner's capacity share.
+            targets = []
+            acc = 0.0
+            for k in range(placement.num_servers - 1):
+                owner = (k + ring) % placement.num_servers
+                acc += shares[owner]
+                targets.append(acc * total)
+            running = 0.0
+            t = 0
+            for angle, weight in entries:
+                if t >= len(targets):
+                    break
+                running += weight
+                while t < len(targets) and running >= targets[t]:
+                    ring_bounds.append(angle)
+                    t += 1
+            while len(ring_bounds) < placement.num_servers - 1:
+                ring_bounds.append(1.0)
+            boundaries.append(ring_bounds)
+        return boundaries

@@ -1,0 +1,10 @@
+"""Re-export of the scheme interface (history: it started life here).
+
+The :class:`Placement` / :class:`MetadataScheme` abstractions live in
+:mod:`repro.placement` so both the core package and the baselines package can
+import them without a cycle.
+"""
+
+from repro.placement import MetadataScheme, Migration, Placement
+
+__all__ = ["MetadataScheme", "Migration", "Placement"]

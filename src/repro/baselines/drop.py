@@ -1,0 +1,230 @@
+"""DROP: locality-preserving hashing with histogram-based load balancing.
+
+Xu et al. (MSST'13 / TPDS'14) hash each metadata node to a point on a
+Chord-like linear keyspace with a *locality-preserving* hash — here realised
+as the node's preorder (DFS) position, which keeps every subtree contiguous —
+and let servers own key ranges through *virtual nodes*, several per physical
+server. The HDLB step ("histogram-based dynamic load balancing") periodically
+moves range boundaries to popularity-weighted quantiles, so every virtual
+range carries its owner's capacity-proportional share of the load.
+
+The consequences the paper reports fall out of this structure: balance is
+near-perfect (quantile ranges at node granularity, Fig. 7), while locality
+suffers and keeps degrading as the cluster scales — ``V·M`` ranges means
+``V·M − 1`` boundaries slicing root-to-leaf paths (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence
+
+from repro.placement import MetadataScheme, Migration, Placement
+from repro.core.namespace import NamespaceTree
+from repro.core.node import MetadataNode
+
+__all__ = ["DropScheme", "DropPlacement", "preorder_keys"]
+
+
+def preorder_keys(tree: NamespaceTree) -> Dict[MetadataNode, float]:
+    """Idealised locality-preserving hash: preorder DFS position in [0, 1).
+
+    Every subtree occupies a contiguous key interval — stronger locality than
+    any hash of pathnames can deliver. Used by the AngleCut projection and by
+    the DROP ablation (``key_mode="preorder"``).
+    """
+    keys: Dict[MetadataNode, float] = {}
+    n = len(tree)
+    index = 0
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        keys[node] = index / n
+        index += 1
+        # Reversed so the leftmost child is visited first.
+        stack.extend(reversed(node.children))
+    return keys
+
+
+def pathname_cluster_keys(tree: NamespaceTree) -> Dict[MetadataNode, float]:
+    """DROP's pathname-based locality-preserving hash.
+
+    DROP hashes *pathnames*, which clusters a directory's entries (they share
+    the long common prefix) but gives the parent itself — a shorter, different
+    string — an unrelated key. Modelled directly: every directory owns a
+    cluster base at ``hash(dir path)``, its children sit within a narrow
+    window above the base, and ancestor chains therefore scatter across the
+    keyspace. Sibling locality survives; path-traversal locality does not —
+    the drawback the paper measures in Fig. 6.
+    """
+    from repro.baselines.hashing import stable_hash
+
+    window = 1.0 / max(1, 4 * len(tree))
+    scale = float(2 ** 64)
+    keys: Dict[MetadataNode, float] = {}
+    for node in tree:
+        if node.parent is None:
+            keys[node] = 0.0
+            continue
+        base = stable_hash(node.parent.path) / scale
+        offset = (stable_hash(node.path) / scale) * window
+        keys[node] = (base + offset) % 1.0
+    return keys
+
+
+class DropPlacement(Placement):
+    """Placement defined by virtual-range boundaries over preorder keys."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        keys: Dict[MetadataNode, float],
+        virtual_nodes_per_server: int = 4,
+        capacities: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(num_servers, capacities)
+        if virtual_nodes_per_server < 1:
+            raise ValueError("need at least one virtual node per server")
+        self.keys = keys
+        self.virtual_nodes_per_server = virtual_nodes_per_server
+        num_ranges = self.num_ranges
+        #: Interior boundaries b_1..b_{R-1}; range r owns [b_r, b_{r+1}).
+        self.boundaries: List[float] = [
+            (r + 1) / num_ranges for r in range(num_ranges - 1)
+        ]
+
+    @property
+    def num_ranges(self) -> int:
+        """Total virtual ranges on the keyspace."""
+        return self.num_servers * self.virtual_nodes_per_server
+
+    def server_for_key(self, key: float) -> int:
+        """Physical owner of ``key`` (virtual ranges round-robin to servers)."""
+        virtual_range = bisect.bisect_right(self.boundaries, key)
+        return virtual_range % self.num_servers
+
+    def apply_boundaries(self) -> None:
+        """Reassign every node according to the current boundaries."""
+        for node, key in self.keys.items():
+            self.assign(node, self.server_for_key(key))
+
+    def forget(self, node) -> bool:
+        """Drop a node and its keyspace entry."""
+        self.keys.pop(node, None)
+        return super().forget(node)
+
+
+class DropScheme(MetadataScheme):
+    """Locality-preserving hashing + HDLB boundary adjustment.
+
+    Parameters
+    ----------
+    virtual_nodes_per_server:
+        Chord-style virtual nodes per physical server. More virtual nodes →
+        finer balance, worse locality (the classic DHT trade-off).
+    """
+
+    name = "drop"
+
+    def __init__(self, virtual_nodes_per_server: int = 4, key_mode: str = "pathname") -> None:
+        if virtual_nodes_per_server < 1:
+            raise ValueError("need at least one virtual node per server")
+        if key_mode not in ("pathname", "preorder"):
+            raise ValueError("key_mode must be 'pathname' or 'preorder'")
+        self.virtual_nodes_per_server = virtual_nodes_per_server
+        self.key_mode = key_mode
+
+    def partition(
+        self,
+        tree: NamespaceTree,
+        num_servers: int,
+        capacities: Optional[Sequence[float]] = None,
+    ) -> DropPlacement:
+        tree.ensure_popularity()
+        key_fn = pathname_cluster_keys if self.key_mode == "pathname" else preorder_keys
+        placement = DropPlacement(
+            num_servers,
+            key_fn(tree),
+            virtual_nodes_per_server=self.virtual_nodes_per_server,
+            capacities=capacities,
+        )
+        # DROP balances from the start: the initial boundaries already sit at
+        # the popularity quantiles (the HDLB fixed point for the initial load).
+        placement.boundaries = self._quantile_boundaries(placement)
+        placement.apply_boundaries()
+        placement.validate_complete(tree)
+        return placement
+
+    def rebalance(
+        self,
+        tree: NamespaceTree,
+        placement: DropPlacement,  # type: ignore[override]
+    ) -> List[Migration]:
+        """HDLB: move boundaries to the current popularity quantiles."""
+        tree.ensure_popularity()
+        new_boundaries = self._quantile_boundaries(placement)
+        migrations: List[Migration] = []
+        if new_boundaries != placement.boundaries:
+            old_server = {node: placement.primary_of(node) for node in placement.keys}
+            placement.boundaries = new_boundaries
+            placement.apply_boundaries()
+            for node in placement.keys:
+                new = placement.primary_of(node)
+                if new != old_server[node]:
+                    migrations.append(Migration(node, old_server[node], new))
+        return migrations
+
+    def place_created(self, tree, placement, node):
+        """Key the new pathname and place it in the owning virtual range."""
+        if self.key_mode == "pathname":
+            from repro.baselines.hashing import stable_hash
+
+            window = 1.0 / max(1, 4 * len(tree))
+            scale = float(2 ** 64)
+            base = stable_hash(node.parent.path) / scale if node.parent else 0.0
+            key = (base + (stable_hash(node.path) / scale) * window) % 1.0
+        else:
+            # Preorder keys cannot be extended incrementally without a global
+            # renumbering; new nodes adopt the key just after their parent.
+            key = placement.keys.get(node.parent, 0.0)
+        placement.keys[node] = key
+        server = placement.server_for_key(key)
+        placement.assign(node, server)
+        return server
+
+    @staticmethod
+    def _quantile_boundaries(placement: DropPlacement) -> List[float]:
+        """Boundaries giving every virtual range its owner's capacity share.
+
+        Weighted by *individual* popularity (a node's served traffic) plus a
+        tiny floor so cold keyspace regions still split.
+        """
+        entries = sorted(
+            ((key, node.individual_popularity + 1e-9) for node, key in placement.keys.items()),
+            key=lambda item: item[0],
+        )
+        total = sum(weight for _key, weight in entries)
+        cap_total = sum(placement.capacities)
+        v = placement.virtual_nodes_per_server
+        targets = []
+        acc = 0.0
+        for r in range(placement.num_ranges - 1):
+            owner = r % placement.num_servers
+            acc += placement.capacities[owner] / (cap_total * v)
+            targets.append(acc * total)
+        boundaries = []
+        running = 0.0
+        t = 0
+        for key, weight in entries:
+            if t >= len(targets):
+                break
+            running += weight
+            # One very popular node may satisfy several range targets at
+            # once; emit a boundary for each (the intermediate ranges are
+            # simply empty).
+            while t < len(targets) and running >= targets[t]:
+                boundaries.append(key)
+                t += 1
+        while len(boundaries) < placement.num_ranges - 1:
+            boundaries.append(1.0)
+        return boundaries

@@ -1,0 +1,232 @@
+"""Dynamic subtree partitioning (Ceph / Kosha style).
+
+Starts from a static subtree partition at a finer cut depth, then reacts to
+load: when a server is relatively overloaded it migrates busy directory
+fragments to lighter servers, *splitting* fragments into smaller pieces when
+a whole fragment would overshoot. The paper's critique — finer granularity
+buys balance but fragments path prefixes across servers (hurting locality as
+the cluster scales), and migration can thrash — emerges directly from this
+mechanism.
+
+The placement keeps an explicit set of *zone roots*: every node belongs to
+the zone of its deepest zone-root ancestor, zones nest by exclusion, and
+migrating a zone moves exactly its exclusive node set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.placement import MetadataScheme, Migration, Placement
+from repro.baselines.hashing import stable_hash
+from repro.core.namespace import NamespaceTree
+from repro.core.node import MetadataNode
+
+__all__ = ["DynamicSubtreeScheme", "DynamicSubtreePlacement"]
+
+
+class DynamicSubtreePlacement(Placement):
+    """Placement with an explicit zone-root map supporting splits and moves."""
+
+    def __init__(self, num_servers: int, capacities: Optional[Sequence[float]] = None) -> None:
+        super().__init__(num_servers, capacities)
+        #: zone root -> owning server; the tree root is always a zone root.
+        self.zone_of: Dict[MetadataNode, int] = {}
+
+    # ------------------------------------------------------------------
+    def zone_root_of(self, node: MetadataNode) -> MetadataNode:
+        """Deepest zone-root ancestor (or self) of ``node``."""
+        walk = node
+        while walk not in self.zone_of:
+            walk = walk.parent
+        return walk
+
+    def rebuild_assignments(self, tree: NamespaceTree) -> None:
+        """Recompute every node's server from the zone map (one pass)."""
+        # Registration order guarantees parents precede children, so a node's
+        # zone is its own entry or its parent's resolved zone.
+        resolved: Dict[MetadataNode, int] = {}
+        for node in tree:
+            if node in self.zone_of:
+                server = self.zone_of[node]
+            else:
+                server = resolved[node.parent]
+            resolved[node] = server
+            self.assign(node, server)
+
+    def forget(self, node: MetadataNode) -> bool:
+        """Drop a node and any zone-root entry it held."""
+        self.zone_of.pop(node, None)
+        return super().forget(node)
+
+    def zone_loads(self, tree: NamespaceTree) -> Dict[MetadataNode, float]:
+        """Exclusive popularity covered by each zone root."""
+        tree.ensure_popularity()
+        loads = {root: root.popularity for root in self.zone_of}
+        for root in self.zone_of:
+            if root.parent is not None:
+                parent_zone = self.zone_root_of(root.parent)
+                loads[parent_zone] -= root.popularity
+        return loads
+
+
+class DynamicSubtreeScheme(MetadataScheme):
+    """Migrate-when-overloaded subtree partitioning.
+
+    Parameters
+    ----------
+    cut_depth:
+        Initial fragment depth (finer than static subtree partitioning,
+        matching the paper's "subtrees need to be split into smaller subtrees
+        with finer granularity").
+    imbalance_tolerance:
+        Relative overload that triggers migration.
+    max_migrations_per_round:
+        Caps migration work per rebalance call (real systems throttle this).
+    migration_budget:
+        Fraction of total popularity allowed to move per round; bounds
+        thrashing.
+    """
+
+    name = "dynamic-subtree"
+
+    def __init__(
+        self,
+        cut_depth: int = 2,
+        imbalance_tolerance: float = 0.15,
+        max_migrations_per_round: int = 64,
+        zones_per_server: int = 4,
+        migration_budget: float = 0.15,
+    ) -> None:
+        if cut_depth < 1:
+            raise ValueError("cut_depth must be at least 1")
+        if zones_per_server < 1:
+            raise ValueError("zones_per_server must be at least 1")
+        self.cut_depth = cut_depth
+        self.imbalance_tolerance = imbalance_tolerance
+        self.max_migrations_per_round = max_migrations_per_round
+        self.zones_per_server = zones_per_server
+        self.migration_budget = migration_budget
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        tree: NamespaceTree,
+        num_servers: int,
+        capacities: Optional[Sequence[float]] = None,
+    ) -> DynamicSubtreePlacement:
+        tree.ensure_popularity()
+        placement = DynamicSubtreePlacement(num_servers, capacities)
+        placement.zone_of[tree.root] = stable_hash(tree.root.path) % num_servers
+        for node in tree:
+            if 1 <= node.depth <= self.cut_depth:
+                placement.zone_of[node] = stable_hash(node.path) % num_servers
+        # Finer granularity as the cluster scales (the paper's observation:
+        # dynamic partitioning keeps splitting subtrees so every server can
+        # get a share): split the hottest zones until there are enough
+        # fragments to spread.
+        target = self.zones_per_server * num_servers
+        while len(placement.zone_of) < target:
+            zone_loads = placement.zone_loads(tree)
+            splittable = [
+                (load, root)
+                for root, load in zone_loads.items()
+                if any(c not in placement.zone_of for c in root.children)
+            ]
+            if not splittable:
+                break
+            splittable.sort(key=lambda item: (-item[0], item[1].node_id))
+            _load, zone = splittable[0]
+            for child in zone.children:
+                if child not in placement.zone_of:
+                    placement.zone_of[child] = stable_hash(child.path) % num_servers
+        placement.rebuild_assignments(tree)
+        placement.validate_complete(tree)
+        return placement
+
+    # ------------------------------------------------------------------
+    def place_created(self, tree, placement, node):
+        """New shallow nodes open fresh zones; deep ones join the parent's."""
+        if 1 <= node.depth <= self.cut_depth:
+            server = stable_hash(node.path) % placement.num_servers
+            placement.zone_of[node] = server
+        else:
+            server = placement.zone_of[placement.zone_root_of(node.parent)]
+        placement.assign(node, server)
+        return server
+
+    # ------------------------------------------------------------------
+    def rebalance(
+        self,
+        tree: NamespaceTree,
+        placement: DynamicSubtreePlacement,  # type: ignore[override]
+    ) -> List[Migration]:
+        tree.ensure_popularity()
+        migrations: List[Migration] = []
+        moved_popularity = 0.0
+        total_cap = sum(placement.capacities)
+        for _ in range(self.max_migrations_per_round):
+            zone_loads = placement.zone_loads(tree)
+            server_loads = [0.0] * placement.num_servers
+            for root, server in placement.zone_of.items():
+                server_loads[server] += zone_loads[root]
+            mu = sum(server_loads) / total_cap
+            if mu <= 0:
+                break
+            heavy = max(
+                range(placement.num_servers),
+                key=lambda k: server_loads[k] / placement.capacities[k],
+            )
+            heavy_rel = server_loads[heavy] / placement.capacities[heavy]
+            if heavy_rel <= mu * (1 + self.imbalance_tolerance):
+                break
+            light = min(
+                range(placement.num_servers),
+                key=lambda k: server_loads[k] / placement.capacities[k],
+            )
+            excess = server_loads[heavy] - mu * placement.capacities[heavy]
+            # All of the heavy server's zones; the tree-root zone may only be
+            # split (its exclusive set must keep a home), never migrated.
+            candidates = [
+                (zone_loads[root], root)
+                for root, server in placement.zone_of.items()
+                if server == heavy
+            ]
+            movable = [
+                (load, zone) for load, zone in candidates if zone.parent is not None
+            ]
+            if not candidates:
+                break
+            candidates.sort(key=lambda item: (-item[0], item[1].node_id))
+            movable.sort(key=lambda item: (-item[0], item[1].node_id))
+            # Prefer the biggest fragment that fits the excess AND the
+            # remaining migration budget; oversized fragments get split
+            # instead of bounced between servers (the thrashing failure mode
+            # the paper describes).
+            budget_left = self.migration_budget * sum(server_loads) - moved_popularity
+            cap = min(excess * 1.5, budget_left)
+            fitting = [(load, zone) for load, zone in movable if 0 < load <= cap]
+            if fitting:
+                load, zone = fitting[0]
+            else:
+                _load, big = candidates[0]
+                added = 0
+                for child in big.children:
+                    if child not in placement.zone_of:
+                        placement.zone_of[child] = heavy
+                        added += 1
+                if added:
+                    continue
+                if not movable or migrations:
+                    break
+                # Unsplittable oversized fragment and nothing moved yet:
+                # move the smallest movable fragment to make some progress.
+                load, zone = movable[-1]
+                if load <= 0:
+                    break
+            placement.zone_of[zone] = light
+            moved_popularity += load
+            migrations.append(Migration(zone, heavy, light))
+        if migrations:
+            placement.rebuild_assignments(tree)
+        return migrations

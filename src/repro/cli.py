@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate   synthesise a trace (Table I profile) and write it to a file
+evaluate   partition a generated workload and print the paper metrics
+simulate   replay a workload through the cluster simulator (Fig. 5 style)
+figure     regenerate one figure's data series (CSV, or --chart for ASCII)
+stats      characterise a trace (mix, depth, skew, drift)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    AngleCutScheme,
+    DropScheme,
+    DynamicSubtreeScheme,
+    HashScheme,
+    StaticSubtreeScheme,
+)
+from repro.core import D2TreeScheme
+from repro.metrics import evaluate_scheme
+from repro.placement import MetadataScheme
+from repro.simulation import replay_rounds, simulate
+from repro.traces import DatasetProfile, TraceGenerator, load_workload, save_trace
+
+__all__ = ["main", "build_parser"]
+
+PROFILE_MAKERS: Dict[str, Callable[..., DatasetProfile]] = {
+    "dtr": DatasetProfile.dtr,
+    "lmbe": DatasetProfile.lmbe,
+    "ra": DatasetProfile.ra,
+}
+
+SCHEME_MAKERS: Dict[str, Callable[[], MetadataScheme]] = {
+    "d2-tree": D2TreeScheme,
+    "static-subtree": StaticSubtreeScheme,
+    "dynamic-subtree": DynamicSubtreeScheme,
+    "static-hash": HashScheme,
+    "drop": DropScheme,
+    "anglecut": AngleCutScheme,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="D2-Tree (ICDCS 2018) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", choices=sorted(PROFILE_MAKERS), default="dtr")
+        p.add_argument("--nodes", type=int, default=8000,
+                       help="namespace tree size (default 8000)")
+        p.add_argument("--scale", type=float, default=1e-4,
+                       help="fraction of the paper's record count (default 1e-4)")
+
+    gen = sub.add_parser("generate", help="synthesise a trace and save it")
+    add_workload_args(gen)
+    gen.add_argument("output", help="path for the trace file")
+    gen.add_argument("--bundle", action="store_true",
+                     help="write a full workload bundle (tree + trace) "
+                          "instead of a bare trace file")
+
+    ev = sub.add_parser("evaluate", help="partition and print paper metrics")
+    add_workload_args(ev)
+    ev.add_argument("--servers", type=int, default=8)
+    ev.add_argument("--scheme", choices=sorted(SCHEME_MAKERS), default=None,
+                    help="one scheme (default: all)")
+    ev.add_argument("--rebalance-rounds", type=int, default=0)
+
+    sim = sub.add_parser("simulate", help="replay through the cluster simulator")
+    add_workload_args(sim)
+    sim.add_argument("--servers", type=int, default=8)
+    sim.add_argument("--scheme", choices=sorted(SCHEME_MAKERS), default=None)
+
+    fig = sub.add_parser("figure", help="regenerate a figure's data as CSV")
+    fig.add_argument("name", choices=["fig5", "fig6", "fig7"],
+                     help="which figure series to produce")
+    add_workload_args(fig)
+    fig.add_argument("--sizes", type=int, nargs="+", default=[5, 10, 20, 30])
+    fig.add_argument("--chart", action="store_true",
+                     help="render an ASCII chart instead of CSV")
+
+    stats = sub.add_parser("stats", help="characterise a trace")
+    stats_src = stats.add_mutually_exclusive_group()
+    stats_src.add_argument("--input", default=None,
+                           help="analyse a saved trace file instead of "
+                                "generating one")
+    add_workload_args(stats)
+    return parser
+
+
+def _schemes(choice: Optional[str]) -> List[MetadataScheme]:
+    if choice is not None:
+        return [SCHEME_MAKERS[choice]()]
+    return [maker() for maker in SCHEME_MAKERS.values()]
+
+
+def _workload(args):
+    profile = PROFILE_MAKERS[args.trace](num_nodes=args.nodes, scale=args.scale)
+    return load_workload(profile)
+
+
+def cmd_generate(args) -> int:
+    profile = PROFILE_MAKERS[args.trace](num_nodes=args.nodes, scale=args.scale)
+    workload = TraceGenerator(profile).generate()
+    if args.bundle:
+        from repro.traces import save_workload
+
+        save_workload(workload, args.output)
+        kind = "workload bundle"
+    else:
+        save_trace(workload.trace, args.output)
+        kind = "trace"
+    print(f"wrote {len(workload.trace)} operations over "
+          f"{len(workload.tree)} nodes to {args.output} ({kind})")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    workload = _workload(args)
+    for scheme in _schemes(args.scheme):
+        report = evaluate_scheme(
+            scheme, workload.tree, args.servers,
+            rebalance_rounds=args.rebalance_rounds,
+        )
+        print(report.row())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    workload = _workload(args)
+    for scheme in _schemes(args.scheme):
+        result = simulate(scheme, workload, args.servers)
+        print(result.row())
+    return 0
+
+
+FIGURE_LABELS = {
+    "fig5": "throughput (ops/s)",
+    "fig6": "locality (E-9)",
+    "fig7": "balance degree",
+}
+
+
+def cmd_figure(args) -> int:
+    workload = _workload(args)
+    series: Dict[str, List[float]] = {}
+    for scheme in _schemes(None):
+        values: List[float] = []
+        for m in args.sizes:
+            if args.name == "fig5":
+                values.append(simulate(type(scheme)(), workload, m).throughput)
+            elif args.name == "fig6":
+                report = evaluate_scheme(type(scheme)(), workload.tree, m)
+                values.append((report.locality_e9 or 0.0))
+            else:
+                trajectory = replay_rounds(type(scheme)(), workload, m, rounds=10)
+                values.append(min(trajectory.final_balance, 1e6))
+        series[scheme.name] = values
+    if args.chart:
+        from repro.viz import render_series
+
+        print(render_series(
+            f"{args.name} ({workload.trace.name})",
+            args.sizes,
+            series,
+            logy=args.name in ("fig6", "fig7"),
+            ylabel=FIGURE_LABELS[args.name],
+        ))
+    else:
+        print("scheme," + ",".join(f"M={m}" for m in args.sizes))
+        for name, values in series.items():
+            print(name + "," + ",".join(f"{v:.2f}" for v in values))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.traces.stats import analyze_trace
+
+    if args.input:
+        from repro.traces import load_trace
+
+        trace = load_trace(args.input)
+    else:
+        trace = _workload(args).trace
+    print(f"trace: {trace.name}")
+    print(analyze_trace(trace).describe())
+    return 0
+
+
+COMMANDS = {
+    "generate": cmd_generate,
+    "evaluate": cmd_evaluate,
+    "simulate": cmd_simulate,
+    "figure": cmd_figure,
+    "stats": cmd_stats,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Simulated MDS cluster: servers, Monitor, clients, caches, locks, failures."""
+
+from repro.cluster.cache import LRUCache, VersionedEntry
+from repro.cluster.client import SimClient
+from repro.cluster.failure import fail_server, surviving_capacities
+from repro.cluster.locks import LockManager
+from repro.cluster.mds import MetadataServer
+from repro.cluster.messages import Heartbeat, OperationOutcome, RoutePlan, Visit, VisitKind
+from repro.cluster.monitor import Monitor
+
+__all__ = [
+    "Heartbeat",
+    "LRUCache",
+    "LockManager",
+    "MetadataServer",
+    "Monitor",
+    "OperationOutcome",
+    "RoutePlan",
+    "SimClient",
+    "VersionedEntry",
+    "Visit",
+    "VisitKind",
+    "fail_server",
+    "surviving_capacities",
+]

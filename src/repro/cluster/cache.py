@@ -1,0 +1,94 @@
+"""Cache primitives used by clients and servers.
+
+Clients cache the *local index* (inter-node → owning server, Sec. IV-A2) and
+recently verified path prefixes; servers cache hot global-layer entries. All
+of these are bounded LRU maps with optional versioning, matching the paper's
+"version number, timeout and lease mechanism ... employed to maintain the
+consistency and reliability of server/client cache".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, Optional, Tuple, TypeVar
+
+__all__ = ["LRUCache", "VersionedEntry"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class VersionedEntry(Generic[V]):
+    """A cached value with a version stamp and an expiry (lease) time."""
+
+    __slots__ = ("value", "version", "expires_at")
+
+    def __init__(self, value: V, version: int = 0, expires_at: float = float("inf")) -> None:
+        self.value = value
+        self.version = version
+        self.expires_at = expires_at
+
+    def fresh(self, now: float, current_version: Optional[int] = None) -> bool:
+        """True while the lease holds and the version (if checked) matches."""
+        if now > self.expires_at:
+            return False
+        if current_version is not None and self.version != current_version:
+            return False
+        return True
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded least-recently-used map."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: K) -> Optional[V]:
+        """Return the cached value (refreshing recency), or ``None``."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return None
+
+    def peek(self, key: K) -> Optional[V]:
+        """Return the cached value without touching recency or stats."""
+        return self._data.get(key)
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/refresh an entry, evicting the LRU entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def invalidate(self, key: K) -> bool:
+        """Drop an entry; returns whether it existed."""
+        return self._data.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop everything (kept stats intact)."""
+        self._data.clear()
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of ``get`` calls served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) counters."""
+        return self.hits, self.misses

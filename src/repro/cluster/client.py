@@ -1,0 +1,75 @@
+"""Simulated file-system client.
+
+Clients are closed-loop request sources with two caches (Sec. IV-A2):
+
+* the **local index** cache — inter node / subtree root → owning server, so
+  local-layer queries go straight to the right MDS (at most one hop); and
+* a **prefix permission** cache — recently verified ancestor directories, so
+  repeated traversals of a hot path skip the already-checked prefix (this is
+  the client-side caching every comparator scheme relies on too).
+
+Cache entries go stale when subtrees migrate; a stale entry costs a redirect
+hop, which is how adjustment churn shows up in throughput.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster.cache import LRUCache
+
+__all__ = ["SimClient"]
+
+
+class SimClient:
+    """One closed-loop client with its caches."""
+
+    def __init__(
+        self,
+        client_id: int,
+        num_servers: int,
+        index_cache_size: int = 512,
+        prefix_cache_size: int = 256,
+        seed: int = 0,
+    ) -> None:
+        self.client_id = client_id
+        self.num_servers = num_servers
+        #: subtree-root path -> believed owning server.
+        self.index_cache: LRUCache[str, int] = LRUCache(index_cache_size)
+        #: recently permission-checked directory path -> believed server.
+        self.prefix_cache: LRUCache[str, int] = LRUCache(prefix_cache_size)
+        self._rng = random.Random((seed << 20) ^ client_id)
+        self.operations = 0
+        self.redirects = 0
+
+    def pick_any_server(self) -> int:
+        """Random MDS choice (global-layer queries go anywhere)."""
+        return self._rng.randrange(self.num_servers)
+
+    def pick_among(self, servers) -> int:
+        """Random choice from a replica set (bounded global layers)."""
+        return servers[self._rng.randrange(len(servers))]
+
+    def cached_owner(self, root_path: str) -> int:
+        """Believed owner of a subtree root, or -1 when unknown."""
+        owner = self.index_cache.get(root_path)
+        return -1 if owner is None else owner
+
+    def learn_owner(self, root_path: str, server: int) -> None:
+        """Cache the authoritative owner after a lookup or redirect."""
+        self.index_cache.put(root_path, server)
+
+    def cached_prefix_server(self, path: str) -> int:
+        """Server believed to hold a verified prefix, or -1 when unknown."""
+        server = self.prefix_cache.get(path)
+        return -1 if server is None else server
+
+    def mark_prefix_checked(self, path: str, server: int) -> None:
+        """Remember a verified ancestor directory and where it lives."""
+        self.prefix_cache.put(path, server)
+
+    def note_operation(self, redirected: bool) -> None:
+        """Update per-client statistics."""
+        self.operations += 1
+        if redirected:
+            self.redirects += 1

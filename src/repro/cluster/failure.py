@@ -1,0 +1,103 @@
+"""MDS failure and membership-change handling.
+
+The Monitor "detects cluster status, including MDS failure and new MDS
+added" (Sec. IV-A3). This module implements the recovery actions:
+
+* **failure** — the dead server's metadata must be re-homed. For D2-Tree the
+  global layer needs nothing (it is replicated everywhere); the dead server's
+  local-layer subtrees flow through the pending pool to the survivors via
+  mirror division. For single-assignment schemes the dead server's nodes are
+  re-hashed across survivors.
+* **addition** — a new, empty server joins light and pulls load through the
+  normal adjustment path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.placement import Migration, Placement
+from repro.baselines.hashing import stable_hash
+from repro.core.allocation import mirror_division
+from repro.core.partition import D2TreePlacement
+
+__all__ = ["fail_server", "surviving_capacities"]
+
+
+def surviving_capacities(placement: Placement, dead: int) -> List[float]:
+    """Capacities with the dead server zeroed out (it can host nothing)."""
+    return [
+        0.0 if server == dead else cap
+        for server, cap in enumerate(placement.capacities)
+    ]
+
+
+def fail_server(placement: Placement, dead: int) -> List[Migration]:
+    """Re-home everything the dead server held; returns the moves made.
+
+    The placement keeps its width (server ids stay stable); the dead server
+    simply ends up owning nothing.
+    """
+    if not 0 <= dead < placement.num_servers:
+        raise ValueError("no such server")
+    if placement.num_servers < 2:
+        raise ValueError("cannot fail the only server")
+    migrations: List[Migration] = []
+    # Mark the server unusable for every capacity-driven policy (mirror
+    # division, the adjuster's deficits, HDLB targets) without renumbering
+    # the cluster.
+    placement.capacities[dead] = 1e-12
+
+    if isinstance(placement, D2TreePlacement):
+        # Global layer: drop the dead replica (the remaining replicas keep
+        # serving it). Deriving survivors from the *current* replica sets
+        # keeps earlier failures excluded too.
+        for node in placement.split.global_layer:
+            remaining = [s for s in placement.servers_of(node) if s != dead]
+            placement.replicate(node, remaining)
+        live = {
+            s
+            for node in placement.split.global_layer
+            for s in placement.servers_of(node)
+        } or {s for s in range(placement.num_servers) if s != dead}
+        # Local layer: dead server's subtrees go through the pending pool —
+        # mirror division over the survivors' remaining deficits.
+        orphans = [
+            root for root, server in placement.subtree_owner.items() if server == dead
+        ]
+        if orphans:
+            loads = placement.local_loads()
+            total_pop = sum(loads)
+            caps = [
+                cap if server in live else 0.0
+                for server, cap in enumerate(placement.capacities)
+            ]
+            total_cap = sum(caps)
+            deficits = [
+                max(total_pop * cap / total_cap - load, 1e-12) if cap > 0 else 1e-12
+                for cap, load in zip(caps, loads)
+            ]
+            deficits[dead] = 1e-12
+            allocation = mirror_division([r.popularity for r in orphans], deficits)
+            for root, target in zip(orphans, allocation.assignment):
+                if target not in live:  # numerical corner: best live server
+                    target = max(live, key=lambda s: deficits[s])
+                placement.move_subtree(root, target)
+                migrations.append(Migration(root, dead, target))
+        return migrations
+
+    # Generic single-assignment scheme: re-hash the dead server's nodes
+    # across the survivors.
+    survivors = [s for s in range(placement.num_servers) if s != dead]
+    for node in placement.placed_nodes():
+        servers = placement.servers_of(node)
+        if len(servers) > 1:
+            if dead in servers:
+                remaining = [s for s in servers if s != dead]
+                placement.replicate(node, remaining)
+            continue
+        if servers[0] == dead:
+            target = survivors[stable_hash(node.path) % len(survivors)]
+            placement.assign(node, target)
+            migrations.append(Migration(node, dead, target))
+    return migrations

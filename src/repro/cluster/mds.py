@@ -1,0 +1,94 @@
+"""Metadata server model.
+
+Each MDS is a single service resource (its request-processing capacity) plus
+bookkeeping: decaying access counters for the subtrees it owns (the inputs
+Dynamic-Adjustment needs) and served-operation statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.adjustment import DecayingCounter
+from repro.simulation.engine import ResourceTimeline
+
+__all__ = ["MetadataServer"]
+
+
+class MetadataServer:
+    """One MDS in the simulated cluster.
+
+    Parameters
+    ----------
+    server_id:
+        Cluster-wide index.
+    service_time:
+        Seconds of CPU per request visit (the reciprocal of the per-server
+        throughput ceiling).
+    counter_decay:
+        Decay rate for the access counters MDSs keep on local-layer subtree
+        roots and inter nodes ("access counters whose values decay over
+        time", Sec. IV-B).
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        service_time: float = 1e-3,
+        counter_decay: float = 1e-4,
+    ) -> None:
+        if service_time <= 0:
+            raise ValueError("service_time must be positive")
+        self.server_id = server_id
+        self.service_time = service_time
+        self.cpu = ResourceTimeline()
+        self.counter_decay = counter_decay
+        self._counters: Dict[str, DecayingCounter] = {}
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    def process(self, arrival: float, work: float = 1.0) -> float:
+        """Queue a request visit; returns its completion time."""
+        if not self.alive:
+            raise RuntimeError(f"server {self.server_id} is down")
+        return self.cpu.serve(arrival, work * self.service_time)
+
+    def record_access(self, path: str, now: float, weight: float = 1.0) -> None:
+        """Bump the decaying access counter for ``path``."""
+        counter = self._counters.get(path)
+        if counter is None:
+            counter = DecayingCounter(decay_rate=self.counter_decay)
+            self._counters[path] = counter
+        counter.record(now, weight)
+
+    def counter_value(self, path: str, now: float) -> float:
+        """Current decayed popularity estimate for ``path``."""
+        counter = self._counters.get(path)
+        return counter.value(now) if counter is not None else 0.0
+
+    def load_report(self, now: float) -> float:
+        """Summed decayed counters — the heartbeat's ``L_k`` estimate."""
+        return sum(counter.value(now) for counter in self._counters.values())
+
+    def drop_counter(self, path: str) -> None:
+        """Forget a counter (after migrating the subtree away)."""
+        self._counters.pop(path, None)
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Mark the server as crashed (failure injection)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Bring the server back (empty, counters reset)."""
+        self.alive = True
+        self._counters.clear()
+
+    @property
+    def served(self) -> int:
+        """Number of request visits completed."""
+        return self.cpu.served
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"MetadataServer({self.server_id}, {state}, served={self.served})"

@@ -1,0 +1,72 @@
+"""Message/record types exchanged in the simulated cluster."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["VisitKind", "Visit", "RoutePlan", "Heartbeat", "OperationOutcome"]
+
+
+class VisitKind(enum.Enum):
+    """Why a request touches a server."""
+
+    ENTRY = "entry"          # first contact (client-chosen server)
+    TRAVERSAL = "traversal"  # permission-check hop along the path
+    REDIRECT = "redirect"    # forwarded after a stale client cache entry
+    SERVE = "serve"          # the server actually owning the target
+    REPLICA_WRITE = "replica-write"  # global-layer update fan-out
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One server touch within a request's lifetime."""
+
+    server: int
+    kind: VisitKind
+
+
+@dataclass
+class RoutePlan:
+    """Resolved routing for one operation.
+
+    ``visits`` are served sequentially; ``fanout`` servers are written in
+    parallel after the sequential part (used by global-layer updates);
+    ``lock_key`` serialises the operation through the lock service first.
+    """
+
+    visits: List[Visit] = field(default_factory=list)
+    fanout: List[int] = field(default_factory=list)
+    lock_key: str = ""
+
+    @property
+    def num_jumps(self) -> int:
+        """Server-to-server transfers implied by the sequential visits."""
+        return max(0, len(self.visits) - 1)
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic load report from an MDS to the Monitor (Sec. IV-B)."""
+
+    server: int
+    time: float
+    load: float
+    relative_capacity: float
+
+
+@dataclass
+class OperationOutcome:
+    """Completion record for one operation."""
+
+    start: float
+    completion: float
+    jumps: int
+    redirected: bool
+    was_update: bool
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency in seconds."""
+        return self.completion - self.start

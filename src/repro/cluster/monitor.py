@@ -1,0 +1,77 @@
+"""Cluster Monitor (Sec. IV-A3).
+
+D2-Tree adds a Monitor to keep MDS behaviour simple, mirroring Ceph's OSD
+monitor. It (1) accepts heartbeats and maintains the pending pool for
+dynamic subtree adjustment, (2) keeps the global layer consistent across
+MDSs, and (3) tracks cluster membership — MDS failures and additions.
+
+In the simulator the Monitor owns the authoritative subtree index (clients
+hold possibly-stale copies) and decides when to trigger a rebalance round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.placement import MetadataScheme, Migration, Placement
+from repro.cluster.messages import Heartbeat
+from repro.core.namespace import NamespaceTree
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Heartbeat sink and rebalance coordinator."""
+
+    def __init__(
+        self,
+        scheme: MetadataScheme,
+        tree: NamespaceTree,
+        placement: Placement,
+        heartbeat_timeout: float = 30.0,
+    ) -> None:
+        self.scheme = scheme
+        self.tree = tree
+        self.placement = placement
+        self.heartbeat_timeout = heartbeat_timeout
+        self._last_heartbeat: Dict[int, float] = {}
+        self._latest_load: Dict[int, float] = {}
+        self.rebalances = 0
+        self.total_migrations = 0
+
+    # ------------------------------------------------------------------
+    def on_heartbeat(self, heartbeat: Heartbeat) -> None:
+        """Record an MDS's periodic load report."""
+        self._last_heartbeat[heartbeat.server] = heartbeat.time
+        self._latest_load[heartbeat.server] = heartbeat.load
+
+    def last_seen(self, server: int) -> Optional[float]:
+        """Last heartbeat time for ``server`` (None if never heard from)."""
+        return self._last_heartbeat.get(server)
+
+    def detect_failures(self, now: float) -> List[int]:
+        """Servers whose heartbeats stopped for longer than the timeout."""
+        return [
+            server
+            for server, seen in self._last_heartbeat.items()
+            if now - seen > self.heartbeat_timeout
+        ]
+
+    def reported_loads(self) -> Dict[int, float]:
+        """Latest heartbeat-reported load per server."""
+        return dict(self._latest_load)
+
+    # ------------------------------------------------------------------
+    def rebalance(self) -> List[Migration]:
+        """Run one adjustment round through the scheme's policy."""
+        migrations = self.scheme.rebalance(self.tree, self.placement)
+        self.rebalances += 1
+        self.total_migrations += len(migrations)
+        return migrations
+
+    def owner_of_subtree(self, root_path: str) -> Optional[int]:
+        """Authoritative owner lookup (what the local index caches)."""
+        node = self.tree.lookup(root_path)
+        if node is None or not self.placement.is_placed(node):
+            return None
+        return self.placement.primary_of(node)

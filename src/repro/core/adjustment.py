@@ -1,0 +1,235 @@
+"""Dynamic-Adjustment — the update process of Sec. IV-B.
+
+Both subtree sizes and popularities drift over time, so D2-Tree keeps the
+cluster balanced with three cooperating pieces:
+
+* :class:`DecayingCounter` — the per-node access counters "whose values decay
+  over time" that MDSs use to track the popularity of inter nodes and
+  local-layer metadata;
+* :class:`PendingPool` — the Monitor-side pool of subtrees shed by relatively
+  overloaded servers, from which light or newly-added servers pull;
+* :class:`DynamicAdjuster` — the heartbeat-driven policy: compute the ideal
+  load factor ``μ`` and each server's relative capacity ``Re_k = L_k − μC_k``,
+  have heavy servers offer subtrees into the pool, and drain the pool to
+  light servers mirror-division style (popularity proportional to remaining
+  deficit).
+
+Global-layer re-evaluation ("typically once a day") is exposed separately via
+:meth:`DynamicAdjuster.adjust_global_layer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.allocation import mirror_division
+from repro.core.node import MetadataNode
+
+__all__ = ["DecayingCounter", "PendingPool", "DynamicAdjuster", "AdjustmentReport"]
+
+
+class DecayingCounter:
+    """Exponentially-decaying access counter.
+
+    ``value`` at time ``t`` is ``Σ w_i · exp(−λ (t − t_i))`` over recorded
+    accesses; the decay is applied lazily on read so recording stays O(1).
+    """
+
+    __slots__ = ("decay_rate", "_value", "_last_time")
+
+    def __init__(self, decay_rate: float = 0.1) -> None:
+        if decay_rate < 0:
+            raise ValueError("decay_rate must be non-negative")
+        self.decay_rate = decay_rate
+        self._value = 0.0
+        self._last_time = 0.0
+
+    def record(self, now: float, weight: float = 1.0) -> None:
+        """Add an access of ``weight`` at time ``now``."""
+        self._decay_to(now)
+        self._value += weight
+
+    def value(self, now: Optional[float] = None) -> float:
+        """Current decayed value (optionally advanced to ``now``)."""
+        if now is not None:
+            self._decay_to(now)
+        return self._value
+
+    def _decay_to(self, now: float) -> None:
+        if now <= self._last_time:
+            # Slightly out-of-order observations (event completions are not
+            # globally monotone) count at the current decay level.
+            return
+        if self.decay_rate > 0:
+            self._value *= math.exp(-self.decay_rate * (now - self._last_time))
+        self._last_time = now
+
+
+@dataclass
+class _PendingEntry:
+    subtree_root: MetadataNode
+    source_server: int
+    popularity: float
+
+
+class PendingPool:
+    """Monitor-side pool of subtrees offered by overloaded servers."""
+
+    def __init__(self) -> None:
+        self._entries: List[_PendingEntry] = []
+
+    def offer(self, subtree_root: MetadataNode, source_server: int, popularity: float) -> None:
+        """Register a subtree a heavy server is willing to give away."""
+        if popularity < 0:
+            raise ValueError("popularity must be non-negative")
+        self._entries.append(_PendingEntry(subtree_root, source_server, popularity))
+
+    def entries(self) -> List[_PendingEntry]:
+        """Snapshot of the current pool contents."""
+        return list(self._entries)
+
+    def take_all(self) -> List[_PendingEntry]:
+        """Drain the pool (the claim phase consumes everything offered)."""
+        out, self._entries = self._entries, []
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_popularity(self) -> float:
+        """Sum of popularity currently parked in the pool."""
+        return sum(e.popularity for e in self._entries)
+
+
+@dataclass
+class AdjustmentReport:
+    """Outcome of one heartbeat-driven adjustment round."""
+
+    migrations: List[Tuple[MetadataNode, int, int]] = field(default_factory=list)
+    offered: int = 0
+    ideal_load_factor: float = 0.0
+
+    @property
+    def moved_popularity(self) -> float:
+        """Popularity relocated this round."""
+        return sum(node.popularity for node, _src, _dst in self.migrations)
+
+
+class DynamicAdjuster:
+    """Heartbeat-driven rebalancer for the local layer.
+
+    Parameters
+    ----------
+    imbalance_tolerance:
+        A server is treated as *heavy* when ``L_k > (1 + tol) · μ C_k`` and
+        sheds subtrees down to its ideal load; a server is *light* when
+        ``L_k < (1 − tol) · μ C_k``. The dead zone avoids thrashing — the
+        failure mode the paper pins on dynamic subtree partitioning.
+    """
+
+    def __init__(self, imbalance_tolerance: float = 0.1) -> None:
+        if imbalance_tolerance < 0:
+            raise ValueError("imbalance_tolerance must be non-negative")
+        self.imbalance_tolerance = imbalance_tolerance
+
+    def adjust(
+        self,
+        subtree_owner: Dict[MetadataNode, int],
+        loads: Sequence[float],
+        capacities: Sequence[float],
+    ) -> AdjustmentReport:
+        """Run one offer/claim round and return the migrations performed.
+
+        ``subtree_owner`` maps each local-layer subtree root to its current
+        server and is mutated in place. ``loads`` are the heartbeat-reported
+        per-server loads ``L_k`` (local-layer popularity only — the global
+        layer is identical everywhere and cancels out of ``Re_k``).
+        """
+        if len(loads) != len(capacities):
+            raise ValueError("loads and capacities must align")
+        report = AdjustmentReport()
+        total_cap = sum(capacities)
+        if total_cap <= 0:
+            raise ValueError("total capacity must be positive")
+        mu = sum(loads) / total_cap
+        report.ideal_load_factor = mu
+        if mu == 0:
+            return report
+
+        loads = list(loads)
+        pool = PendingPool()
+
+        # Offer phase: each heavy server sheds its smallest subtrees until it
+        # is back at or below its ideal load. Smallest-first keeps individual
+        # moves cheap and gives the claim phase fine-grained pieces.
+        by_server: Dict[int, List[MetadataNode]] = {}
+        for root, server in subtree_owner.items():
+            by_server.setdefault(server, []).append(root)
+        for server, cap in enumerate(capacities):
+            ideal = mu * cap
+            if loads[server] <= ideal * (1 + self.imbalance_tolerance):
+                continue
+            excess = loads[server] - ideal
+            owned = sorted(by_server.get(server, []), key=lambda r: r.popularity)
+            offered_any = False
+            for root in owned:
+                if excess <= 0:
+                    break
+                if root.popularity > excess and offered_any:
+                    # Shedding more would overshoot below the ideal load; an
+                    # oversized subtree is only offered when nothing smaller
+                    # moved, so a single-giant-subtree server still makes
+                    # progress.
+                    break
+                pool.offer(root, server, root.popularity)
+                loads[server] -= root.popularity
+                excess -= root.popularity
+                offered_any = True
+        report.offered = len(pool)
+        if len(pool) == 0:
+            return report
+
+        # Claim phase: light servers absorb the pool proportionally to their
+        # remaining deficit (mirror division over deficits, Sec. IV-B). Only
+        # genuinely light servers participate — a dead server (capacity ~0)
+        # or an at-ideal server never claims.
+        claimants = []
+        deficits = []
+        # A server with negligible capacity relative to its peers is dead
+        # (see repro.cluster.failure) and never claims, no matter how large
+        # the ideal load factor makes its nominal deficit.
+        cap_floor = 1e-6 * max(capacities)
+        for server, cap in enumerate(capacities):
+            deficit = mu * cap - loads[server]
+            if cap > cap_floor and deficit > 0:
+                claimants.append(server)
+                deficits.append(deficit)
+        entries = pool.take_all()
+        if not claimants:
+            # Nobody is light; subtrees stay with their sources.
+            return report
+        allocation = mirror_division([e.popularity for e in entries], deficits)
+        for entry, claimed in zip(entries, allocation.assignment):
+            target = claimants[claimed]
+            if target != entry.source_server:
+                subtree_owner[entry.subtree_root] = target
+                report.migrations.append((entry.subtree_root, entry.source_server, target))
+        return report
+
+    def adjust_global_layer(
+        self,
+        tree,
+        current_fraction: float,
+    ) -> "SplitResult":
+        """Recompute the global layer from fresh popularity (the daily pass).
+
+        Returns the new :class:`~repro.core.splitting.SplitResult`; the caller
+        (scheme or cluster Monitor) re-replicates the new layer and reflows
+        any subtree whose root changed layer.
+        """
+        from repro.core.splitting import split_by_proportion
+
+        return split_by_proportion(tree, current_fraction)

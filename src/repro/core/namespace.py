@@ -1,0 +1,295 @@
+"""Namespace tree container.
+
+``NamespaceTree`` owns the root :class:`~repro.core.node.MetadataNode` and
+provides path-based insertion/lookup, popularity bookkeeping (Def. 2 of the
+paper), and the traversal utilities the partitioning algorithms rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set
+
+from repro.core.node import PATH_SEPARATOR, MetadataNode
+
+__all__ = ["NamespaceTree", "split_path"]
+
+
+def split_path(path: str) -> List[str]:
+    """Split an absolute path into components, ignoring blank segments.
+
+    >>> split_path("/home/b/h.jpg")
+    ['home', 'b', 'h.jpg']
+    >>> split_path("/")
+    []
+    """
+    return [part for part in path.split(PATH_SEPARATOR) if part]
+
+
+class NamespaceTree:
+    """A file-system namespace tree of :class:`MetadataNode` objects.
+
+    The tree assigns every node a dense integer ``node_id`` (the root is 0) so
+    partitioning schemes can use arrays keyed by id.
+    """
+
+    def __init__(self) -> None:
+        self.root = MetadataNode(PATH_SEPARATOR, parent=None, is_directory=True, node_id=0)
+        self._nodes: List[MetadataNode] = [self.root]
+        self._by_path: Dict[str, MetadataNode] = {PATH_SEPARATOR: self.root}
+        self._removed: Set[int] = set()
+        self._popularity_dirty = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_path(
+        self,
+        path: str,
+        is_directory: bool = False,
+        individual_popularity: float = 0.0,
+        update_cost: float = 0.0,
+    ) -> MetadataNode:
+        """Insert ``path``, creating intermediate directories as needed.
+
+        Existing nodes are returned unchanged (their popularity is *not*
+        overwritten); intermediate components are created as directories with
+        zero individual popularity.
+        """
+        existing = self._by_path.get(path if path.startswith(PATH_SEPARATOR) else PATH_SEPARATOR + path)
+        if existing is not None:
+            return existing
+
+        parts = split_path(path)
+        node = self.root
+        for i, part in enumerate(parts):
+            child = node.child_by_name(part)
+            if child is None:
+                last = i == len(parts) - 1
+                child = MetadataNode(
+                    part,
+                    parent=node,
+                    is_directory=is_directory or not last,
+                    individual_popularity=individual_popularity if last else 0.0,
+                    update_cost=update_cost if last else 0.0,
+                )
+                node.add_child(child)
+                self._register(child)
+                self._popularity_dirty = True
+            node = child
+        return node
+
+    def add_child(
+        self,
+        parent: MetadataNode,
+        name: str,
+        is_directory: bool = False,
+        individual_popularity: float = 0.0,
+        update_cost: float = 0.0,
+    ) -> MetadataNode:
+        """Create a child node directly under ``parent`` and register it."""
+        if parent.child_by_name(name) is not None:
+            raise ValueError(f"{parent.path!r} already has a child named {name!r}")
+        child = MetadataNode(
+            name,
+            parent=parent,
+            is_directory=is_directory,
+            individual_popularity=individual_popularity,
+            update_cost=update_cost,
+        )
+        parent.add_child(child)
+        self._register(child)
+        self._popularity_dirty = True
+        return child
+
+    def _register(self, node: MetadataNode) -> None:
+        node.node_id = len(self._nodes)
+        self._nodes.append(node)
+        self._by_path[node.path] = node
+
+    # ------------------------------------------------------------------
+    # Mutation (rename / move / remove)
+    # ------------------------------------------------------------------
+    def _reindex_subtree(self, node: MetadataNode) -> int:
+        """Re-key a subtree in the path index after its paths changed."""
+        count = 0
+        for member in node.descendants(include_self=True):
+            member._path_cache = None
+        for member in node.descendants(include_self=True):
+            self._by_path[member.path] = member
+            count += 1
+        return count
+
+    def rename(self, node: MetadataNode, new_name: str) -> int:
+        """Rename a node in place; returns how many paths changed.
+
+        Every descendant's pathname changes with it — the operation whose
+        cost separates pathname-hashing schemes from tree-partitioning ones.
+        """
+        if node.parent is None:
+            raise ValueError("the root cannot be renamed")
+        if not new_name or PATH_SEPARATOR in new_name:
+            raise ValueError("names must be non-empty and slash-free")
+        if node.parent.child_by_name(new_name) is not None:
+            raise ValueError(f"{node.parent.path!r} already has {new_name!r}")
+        for member in node.descendants(include_self=True):
+            self._by_path.pop(member.path, None)
+        node.name = new_name
+        return self._reindex_subtree(node)
+
+    def move_node(self, node: MetadataNode, new_parent: MetadataNode) -> int:
+        """Re-parent a subtree; returns how many paths changed."""
+        if node.parent is None:
+            raise ValueError("the root cannot be moved")
+        if not new_parent.is_directory:
+            raise ValueError("target parent must be a directory")
+        if new_parent.child_by_name(node.name) is not None:
+            raise ValueError(f"{new_parent.path!r} already has {node.name!r}")
+        walk = new_parent
+        while walk is not None:
+            if walk is node:
+                raise ValueError("cannot move a node into its own subtree")
+            walk = walk.parent
+        for member in node.descendants(include_self=True):
+            self._by_path.pop(member.path, None)
+        node.parent.children.remove(node)
+        node.parent = new_parent
+        new_parent.children.append(node)
+        self._popularity_dirty = True
+        return self._reindex_subtree(node)
+
+    def remove(self, node: MetadataNode) -> int:
+        """Detach a subtree from the namespace; returns nodes removed.
+
+        Node-id slots are retired (iteration skips them; ids of surviving
+        nodes stay stable so placements keyed by node object remain valid
+        for the survivors).
+        """
+        if node.parent is None:
+            raise ValueError("the root cannot be removed")
+        removed = 0
+        for member in node.descendants(include_self=True):
+            self._by_path.pop(member.path, None)
+            self._removed.add(member.node_id)
+            removed += 1
+        node.parent.children.remove(node)
+        node.parent = None
+        self._popularity_dirty = True
+        return removed
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, path: str) -> Optional[MetadataNode]:
+        """Return the node at ``path``, or ``None`` when absent."""
+        return self._by_path.get(path)
+
+    def node_by_id(self, node_id: int) -> MetadataNode:
+        """Return the node with dense id ``node_id``."""
+        if node_id in self._removed:
+            raise KeyError(f"node {node_id} was removed")
+        return self._nodes[node_id]
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._by_path
+
+    def __len__(self) -> int:
+        return len(self._nodes) - len(self._removed)
+
+    def __iter__(self) -> Iterator[MetadataNode]:
+        if not self._removed:
+            return iter(self._nodes)
+        return (n for n in self._nodes if n.node_id not in self._removed)
+
+    @property
+    def nodes(self) -> List[MetadataNode]:
+        """Live nodes in registration (insertion) order."""
+        if not self._removed:
+            return self._nodes
+        return [n for n in self._nodes if n.node_id not in self._removed]
+
+    # ------------------------------------------------------------------
+    # Popularity bookkeeping (Def. 2)
+    # ------------------------------------------------------------------
+    def record_access(self, node: MetadataNode, weight: float = 1.0) -> None:
+        """Add ``weight`` to a node's individual popularity ``p'_j``."""
+        node.individual_popularity += weight
+        self._popularity_dirty = True
+
+    def aggregate_popularity(self) -> None:
+        """Recompute total popularity ``p_j = p'_j + Σ p' (descendants)``.
+
+        Runs one bottom-up pass over the tree. The paper sums only the
+        *individual* popularity of descendants into the parent (Def. 2), which
+        makes ``p_j`` the total traffic passing through ``n_j`` under
+        POSIX-style path traversal.
+        """
+        # Explicit post-order traversal from the root: registration order is
+        # NOT a topological order once move_node has re-parented subtrees.
+        # Removed subtrees are detached (parent None), so their popularity
+        # never reaches the live tree.
+        for node in self._nodes:
+            node.popularity = node.individual_popularity
+        stack = [(self.root, False)]
+        while stack:
+            node, children_done = stack.pop()
+            if children_done:
+                if node.parent is not None:
+                    node.parent.popularity += node.popularity
+            else:
+                stack.append((node, True))
+                for child in node.children:
+                    stack.append((child, False))
+        self._popularity_dirty = False
+
+    def ensure_popularity(self) -> None:
+        """Aggregate popularity only when a write invalidated it."""
+        if self._popularity_dirty:
+            self.aggregate_popularity()
+
+    @property
+    def total_popularity(self) -> float:
+        """Total access popularity of the system (== root popularity)."""
+        self.ensure_popularity()
+        return self.root.popularity
+
+    # ------------------------------------------------------------------
+    # Whole-tree utilities
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Maximum node depth (root = 0)."""
+        best = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            if d > best:
+                best = d
+            stack.extend((child, d + 1) for child in node.children)
+        return best
+
+    def map_nodes(self, fn: Callable[[MetadataNode], None]) -> None:
+        """Apply ``fn`` to every node (registration order)."""
+        for node in self._nodes:
+            fn(node)
+
+    def files(self) -> List[MetadataNode]:
+        """All non-directory nodes."""
+        return [n for n in self._nodes if not n.is_directory]
+
+    def directories(self) -> List[MetadataNode]:
+        """All directory nodes (including the root)."""
+        return [n for n in self._nodes if n.is_directory]
+
+    def validate(self) -> None:
+        """Check structural invariants; raise ``AssertionError`` on breakage.
+
+        Intended for tests and debugging, not hot paths.
+        """
+        assert self.root.parent is None
+        seen_ids = set()
+        for node in self:
+            assert node.node_id not in seen_ids, "duplicate node id"
+            seen_ids.add(node.node_id)
+            assert self._by_path[node.path] is node
+            for child in node.children:
+                assert child.parent is node
+        assert len(seen_ids) == len(self)

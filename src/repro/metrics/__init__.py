@@ -1,0 +1,28 @@
+"""Paper metrics: locality (Eq. 1), balance (Eq. 2), update cost (Def. 4)."""
+
+from repro.metrics.balance import (
+    balance_degree,
+    balance_from_placement,
+    ideal_load_factor,
+    load_variance,
+    relative_capacities,
+)
+from repro.metrics.locality import node_jumps, system_locality, weighted_jumps
+from repro.metrics.report import MetricsReport, evaluate_placement, evaluate_scheme
+from repro.metrics.update import update_cost, update_cost_of_split
+
+__all__ = [
+    "MetricsReport",
+    "balance_degree",
+    "balance_from_placement",
+    "evaluate_placement",
+    "evaluate_scheme",
+    "ideal_load_factor",
+    "load_variance",
+    "node_jumps",
+    "relative_capacities",
+    "system_locality",
+    "update_cost",
+    "update_cost_of_split",
+    "weighted_jumps",
+]

@@ -1,0 +1,81 @@
+"""Aggregate metric reports for a scheme/tree/cluster combination."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.placement import MetadataScheme, Placement
+from repro.core.namespace import NamespaceTree
+from repro.metrics.balance import balance_from_placement, ideal_load_factor
+from repro.metrics.locality import system_locality, weighted_jumps
+
+__all__ = ["MetricsReport", "evaluate_placement", "evaluate_scheme"]
+
+
+@dataclass
+class MetricsReport:
+    """All paper metrics for one placement.
+
+    Attributes mirror the paper's symbols: ``locality`` (Eq. 1), ``balance``
+    (Eq. 2), per-server ``loads`` (``L_k``), ``mu`` (ideal load factor) and
+    the raw weighted jump count that feeds locality.
+    """
+
+    scheme: str
+    num_servers: int
+    locality: float
+    balance: float
+    loads: List[float]
+    mu: float
+    weighted_jumps: float
+
+    @property
+    def locality_e9(self) -> Optional[float]:
+        """Locality in Fig. 6's 1e-9 plotting units (None when infinite)."""
+        if self.locality == float("inf"):
+            return None
+        return self.locality * 1e9
+
+    def row(self) -> str:
+        """One formatted table row (scheme, M, locality, balance)."""
+        loc = "inf" if self.locality == float("inf") else f"{self.locality:.3e}"
+        bal = "inf" if self.balance == float("inf") else f"{self.balance:.2f}"
+        return f"{self.scheme:<18} M={self.num_servers:<3} locality={loc:<10} balance={bal}"
+
+
+def evaluate_placement(
+    tree: NamespaceTree,
+    placement: Placement,
+    scheme_name: str = "",
+) -> MetricsReport:
+    """Compute every paper metric for an existing placement."""
+    loads = placement.loads(tree)
+    return MetricsReport(
+        scheme=scheme_name,
+        num_servers=placement.num_servers,
+        locality=system_locality(tree, placement),
+        balance=balance_from_placement(tree, placement),
+        loads=loads,
+        mu=ideal_load_factor(loads, placement.capacities),
+        weighted_jumps=weighted_jumps(tree, placement),
+    )
+
+
+def evaluate_scheme(
+    scheme: MetadataScheme,
+    tree: NamespaceTree,
+    num_servers: int,
+    rebalance_rounds: int = 0,
+) -> MetricsReport:
+    """Partition ``tree`` with ``scheme`` and report the paper metrics.
+
+    ``rebalance_rounds`` replays the dynamic-adjustment loop the paper uses
+    before measuring balance ("after the subtraces are replayed ... 20 times,
+    a relatively balanced status is maintained").
+    """
+    placement = scheme.partition(tree, num_servers)
+    for _ in range(rebalance_rounds):
+        if not scheme.rebalance(tree, placement):
+            break
+    return evaluate_placement(tree, placement, scheme_name=scheme.name)

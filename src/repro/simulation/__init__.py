@@ -1,0 +1,26 @@
+"""Discrete-event trace replay: the Section VI experiment harness."""
+
+from repro.simulation.engine import ClientPool, ResourceTimeline
+from repro.simulation.network import NetworkModel
+from repro.simulation.runner import (
+    BalanceTrajectory,
+    ClusterSimulator,
+    SimulationConfig,
+    replay_rounds,
+    simulate,
+)
+from repro.simulation.stats import LatencySummary, SimulationResult, summarize_latencies
+
+__all__ = [
+    "BalanceTrajectory",
+    "ClientPool",
+    "ClusterSimulator",
+    "LatencySummary",
+    "NetworkModel",
+    "ResourceTimeline",
+    "SimulationConfig",
+    "SimulationResult",
+    "replay_rounds",
+    "simulate",
+    "summarize_latencies",
+]

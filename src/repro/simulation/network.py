@@ -1,0 +1,30 @@
+"""Network latency model.
+
+The paper's testbed is EC2 instances on 100 Mbps links; metadata requests
+are small, so latency is dominated by per-hop round trips rather than
+bandwidth. The model is therefore a constant per-hop latency with optional
+deterministic jitter.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Constant-latency network with optional per-hop jitter."""
+
+    def __init__(self, hop_latency: float = 2e-4, jitter: float = 0.0) -> None:
+        if hop_latency < 0 or jitter < 0:
+            raise ValueError("latencies must be non-negative")
+        self.hop_latency = hop_latency
+        self.jitter = jitter
+        self._tick = 0
+
+    def hop(self) -> float:
+        """Latency of one network traversal (client↔server or server↔server)."""
+        if self.jitter == 0:
+            return self.hop_latency
+        # Deterministic triangle-wave jitter keeps runs reproducible.
+        self._tick = (self._tick + 1) % 16
+        return self.hop_latency + self.jitter * abs(self._tick - 8) / 8.0

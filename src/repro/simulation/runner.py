@@ -1,0 +1,510 @@
+"""Trace-replay harness: the experiments of Section VI.
+
+Two replay modes:
+
+* :class:`ClusterSimulator` — full closed-loop replay against the simulated
+  cluster (servers, clients, caches, locks, Monitor). Produces throughput /
+  latency, regenerating Fig. 5.
+* :func:`replay_rounds` — the Fig. 7 methodology: the trace is split into
+  rounds, each round's served load is measured under the placement adapted to
+  the *previous* rounds, then schemes rebalance. "After the subtraces are
+  replayed ... a relatively balanced status is maintained."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.placement import MetadataScheme, Placement
+from repro.cluster.client import SimClient
+from repro.cluster.locks import LockManager
+from repro.cluster.mds import MetadataServer
+from repro.cluster.messages import Heartbeat, RoutePlan, Visit, VisitKind
+from repro.cluster.monitor import Monitor
+from repro.core.namespace import NamespaceTree
+from repro.core.partition import D2TreePlacement
+from repro.metrics.balance import balance_degree
+from repro.simulation.network import NetworkModel
+from repro.simulation.stats import SimulationResult, summarize_latencies
+from repro.traces.generator import GeneratedWorkload
+from repro.traces.trace import OpType, Trace
+
+__all__ = [
+    "SimulationConfig",
+    "ClusterSimulator",
+    "simulate",
+    "BalanceTrajectory",
+    "replay_rounds",
+]
+
+
+@dataclass
+class SimulationConfig:
+    """Tunables of the simulated testbed (defaults model the EC2 setup)."""
+
+    num_clients: int = 200
+    service_time: float = 1e-3       # seconds of MDS CPU per request visit
+    hop_latency: float = 2e-4        # one network traversal
+    lock_acquire_latency: float = 1e-3   # ZooKeeper round trip
+    lock_hold_time: float = 5e-4     # critical section per GL update
+    replica_write_work: float = 0.5  # relative CPU per GL replica write
+    adjust_every_ops: int = 4000     # heartbeat-driven adjustment cadence
+    popularity_blend: float = 0.5    # weight of the newest window in estimates
+    migration_work: float = 0.05     # relative CPU per metadata node moved
+    index_cache_size: int = 512
+    prefix_cache_size: int = 256
+    #: Mid-replay failure injection: ((completed_ops, server), ...). At each
+    #: trigger the server crashes, the Monitor re-homes its metadata, and
+    #: in-flight requests fail over after ``failover_latency``.
+    failures: tuple = ()
+    failover_latency: float = 5e-3
+    seed: int = 7
+
+
+class ClusterSimulator:
+    """Closed-loop replay of one trace through one scheme's placement."""
+
+    def __init__(
+        self,
+        scheme: MetadataScheme,
+        workload: GeneratedWorkload,
+        num_servers: int,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.scheme = scheme
+        self.workload = workload
+        self.tree = workload.tree
+        self.trace = workload.trace
+        self.num_servers = num_servers
+        self.config = config or SimulationConfig()
+        self.tree.ensure_popularity()
+        self.placement: Placement = scheme.partition(self.tree, num_servers)
+        self.servers = [
+            MetadataServer(sid, service_time=self.config.service_time)
+            for sid in range(num_servers)
+        ]
+        self.locks = LockManager(acquire_latency=self.config.lock_acquire_latency)
+        self.network = NetworkModel(hop_latency=self.config.hop_latency)
+        self.clients = [
+            SimClient(
+                cid,
+                num_servers,
+                index_cache_size=self.config.index_cache_size,
+                prefix_cache_size=self.config.prefix_cache_size,
+                seed=self.config.seed,
+            )
+            for cid in range(self.config.num_clients)
+        ]
+        self.monitor = Monitor(scheme, self.tree, self.placement)
+        self.created = 0
+        # Late-created nodes (OpType.CREATE extension) do not exist at
+        # partition time: their assignments are forgotten and each scheme
+        # places them on first sight.
+        for path in getattr(workload, "late_created_paths", ()):  # compat
+            node = self.tree.lookup(path)
+            if node is not None and self.placement.is_placed(node):
+                if not self.placement.is_replicated(node):
+                    self.placement.forget(node)
+        self.migrations = 0
+        self._window_counts: Dict[str, float] = {}
+        # Snapshot popularity so a run never leaks adjusted estimates into
+        # the shared workload (simulations must be independent).
+        self._initial_popularity = [
+            node.individual_popularity for node in self.tree
+        ]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _plan_d2(self, client: SimClient, node, op: OpType) -> RoutePlan:
+        placement = self.placement
+        assert isinstance(placement, D2TreePlacement)
+        plan = RoutePlan()
+        if placement.is_global(node):
+            # Any replica serves the global layer (Sec. IV-A2); updates
+            # serialise through the lock service and fan out to the other
+            # replicas (all M by default, fewer under a bounded replication
+            # factor).
+            replicas = placement.servers_of(node)
+            entry = client.pick_among(replicas)
+            plan.visits.append(Visit(entry, VisitKind.SERVE))
+            if op is OpType.UPDATE:
+                plan.lock_key = node.path
+                plan.fanout = [s for s in replicas if s != entry]
+            return plan
+        root = placement.subtree_root_of(node)
+        owner = placement.primary_of(root)
+        cached = client.cached_owner(root.path)
+        if cached == owner:
+            plan.visits.append(Visit(owner, VisitKind.SERVE))
+        elif cached >= 0:
+            # Stale local index (the subtree migrated): redirect costs a hop.
+            plan.visits.append(Visit(cached, VisitKind.REDIRECT))
+            plan.visits.append(Visit(owner, VisitKind.SERVE))
+        else:
+            entry = client.pick_any_server()
+            if entry != owner:
+                plan.visits.append(Visit(entry, VisitKind.ENTRY))
+            plan.visits.append(Visit(owner, VisitKind.SERVE))
+        client.learn_owner(root.path, owner)
+        return plan
+
+    def _plan_generic(self, client: SimClient, node, op: OpType) -> RoutePlan:
+        placement = self.placement
+        plan = RoutePlan()
+        last = -1
+        # POSIX traversal: visit each ancestor's server unless this client
+        # verified the prefix recently (client-side permission caching). A
+        # cached-but-stale location (the node migrated) costs a redirect hop.
+        redirected = False
+        for ancestor in node.ancestors():
+            server = placement.primary_of(ancestor)
+            cached = client.cached_prefix_server(ancestor.path)
+            if cached == server:
+                continue
+            if cached >= 0 and cached != last and not redirected:
+                # First stale entry costs a redirect; the serving server then
+                # walks the rest of the path authoritatively.
+                plan.visits.append(Visit(cached, VisitKind.REDIRECT))
+                last = cached
+                redirected = True
+            client.mark_prefix_checked(ancestor.path, server)
+            if server != last:
+                plan.visits.append(Visit(server, VisitKind.TRAVERSAL))
+                last = server
+        target = placement.primary_of(node)
+        if target != last or not plan.visits:
+            plan.visits.append(Visit(target, VisitKind.SERVE))
+        else:
+            plan.visits[-1] = Visit(target, VisitKind.SERVE)
+        return plan
+
+    def plan_route(self, client: SimClient, node, op: OpType) -> RoutePlan:
+        """Resolve which servers an operation touches."""
+        if isinstance(self.placement, D2TreePlacement):
+            return self._plan_d2(client, node, op)
+        return self._plan_generic(client, node, op)
+
+    # ------------------------------------------------------------------
+    # Adjustment (heartbeat-driven, mid-replay)
+    # ------------------------------------------------------------------
+    def _adjust(self, now: float = 0.0) -> None:
+        blend = self.config.popularity_blend
+        for node in self.tree:
+            observed = self._window_counts.get(node.path, 0.0)
+            node.individual_popularity = (
+                (1 - blend) * node.individual_popularity + blend * observed
+            )
+        self.tree.aggregate_popularity()
+        self._window_counts.clear()
+        # Heartbeats (Sec. IV-B): every MDS reports its decayed load level
+        # and relative capacity to the Monitor, which runs the adjustment.
+        loads = self.placement.loads()
+        total_cap = sum(self.placement.capacities)
+        mu = sum(loads) / total_cap if total_cap > 0 else 0.0
+        for server in self.servers:
+            load = server.load_report(now)
+            relative = loads[server.server_id] - mu * self.placement.capacities[
+                server.server_id
+            ]
+            self.monitor.on_heartbeat(
+                Heartbeat(server.server_id, now, load, relative)
+            )
+        moves = self.monitor.rebalance()
+        self.migrations += len(moves)
+        # Migration is not free: source and target servers spend CPU on every
+        # moved metadata node (the thrashing/rehashing overhead the paper
+        # charges against dynamic and hash-based schemes).
+        work = self.config.migration_work
+        if work > 0:
+            for move in moves:
+                nodes_moved = self._migration_size(move)
+                cost = work * nodes_moved * self.config.service_time
+                self.servers[move.source].cpu.serve_background(cost)
+                self.servers[move.target].cpu.serve_background(cost)
+
+    def _crash_server(self, dead: int) -> None:
+        """Kill a server mid-replay and re-home its metadata (Sec. IV-A3)."""
+        from repro.cluster.failure import fail_server
+
+        if not self.servers[dead].alive:
+            return
+        self.servers[dead].fail()
+        moves = fail_server(self.placement, dead)
+        self.migrations += len(moves)
+
+    def _migration_size(self, move) -> int:
+        """Metadata nodes transferred by one migration."""
+        if isinstance(self.placement, D2TreePlacement):
+            return move.node.subtree_size()
+        from repro.baselines.dynamic_subtree import DynamicSubtreePlacement
+
+        if isinstance(self.placement, DynamicSubtreePlacement):
+            # Exclusive zone: subtree minus nested zones.
+            size = move.node.subtree_size()
+            for other in self.placement.zone_of:
+                if other is not move.node and other.parent is not None:
+                    walk = other.parent
+                    while walk is not None and walk is not move.node:
+                        walk = walk.parent
+                    if walk is move.node:
+                        size -= other.subtree_size()
+            return max(1, size)
+        return 1  # DROP/AngleCut migrate individual keys
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Replay the whole trace; returns throughput and latency stats."""
+        try:
+            return self._run()
+        finally:
+            for node, popularity in zip(self.tree.nodes, self._initial_popularity):
+                node.individual_popularity = popularity
+            self.tree.aggregate_popularity()
+
+    def _run(self) -> SimulationResult:
+        """Event-heap replay: visits are served in global time order.
+
+        Each in-flight operation is an event ``(time, seq, op_state)``; a
+        server's FIFO timeline therefore only ever sees arrivals with
+        non-decreasing timestamps, which keeps queueing causal (an earlier
+        arrival is never stuck behind work that starts later).
+        """
+        import heapq
+        import itertools
+
+        cfg = self.config
+        records = self.trace.records
+        latencies: List[float] = []
+        redirects = 0
+        jumps_total = 0
+        makespan = 0.0
+        completed = 0
+        next_record = 0
+        seq = itertools.count()
+        #: (event_time, tiebreak, op) where op is a mutable dict.
+        events: List = []
+
+        def dispatch(client: SimClient, start: float) -> bool:
+            """Issue the next trace record from this client; False when done."""
+            nonlocal next_record
+            while next_record < len(records):
+                record = records[next_record]
+                next_record += 1
+                node = self.tree.lookup(record.path)
+                if node is None:
+                    continue
+                if not self.placement.is_placed(node):
+                    # CREATE (or first touch of a late node): the scheme
+                    # places the newcomer and the owner does the insert.
+                    server = self.scheme.place_created(
+                        self.tree, self.placement, node
+                    )
+                    self.created += 1
+                    plan = RoutePlan(visits=[Visit(server, VisitKind.SERVE)])
+                else:
+                    plan = self.plan_route(client, node, record.op)
+                first_arrival = start + self.network.hop()
+                if plan.lock_key:
+                    first_arrival = self.locks.acquire(
+                        plan.lock_key, first_arrival, cfg.lock_hold_time
+                    )
+                op = {
+                    "client": client,
+                    "plan": plan,
+                    "visit": 0,
+                    "start": start,
+                    "path": record.path,
+                    "op": record.op,
+                }
+                heapq.heappush(events, (first_arrival, next(seq), op))
+                return True
+            return False
+
+        for client in self.clients[: cfg.num_clients]:
+            if not dispatch(client, 0.0):
+                break
+
+        pending_failures = sorted(cfg.failures)
+        failure_cursor = 0
+
+        while events:
+            now, _tick, op = heapq.heappop(events)
+            plan: RoutePlan = op["plan"]
+            visit = plan.visits[op["visit"]]
+            server = self.servers[visit.server]
+            if not server.alive:
+                # The target crashed while this request was in flight: the
+                # client times out and retries against the repaired
+                # placement.
+                node = self.tree.lookup(op["path"])
+                fresh = self.plan_route(op["client"], node, op["op"])
+                op["plan"] = fresh
+                op["visit"] = 0
+                heapq.heappush(
+                    events, (now + cfg.failover_latency, next(seq), op)
+                )
+                continue
+            end = server.process(now)
+            if visit.kind is VisitKind.SERVE:
+                server.record_access(op["path"], end)
+            op["visit"] += 1
+            if op["visit"] < len(plan.visits):
+                heapq.heappush(events, (end + self.network.hop(), next(seq), op))
+                continue
+            # Final visit done: fan out replica writes asynchronously (the
+            # lock orders writers; version/lease checks cover readers, so the
+            # client is acked after the primary) and complete the operation.
+            for s in plan.fanout:
+                self.servers[s].cpu.serve_background(
+                    cfg.replica_write_work * cfg.service_time
+                )
+            completion = end + self.network.hop()
+            client = op["client"]
+            redirected = any(v.kind is VisitKind.REDIRECT for v in plan.visits)
+            client.note_operation(redirected)
+            if redirected:
+                redirects += 1
+            jumps_total += plan.num_jumps
+            latencies.append(completion - op["start"])
+            if completion > makespan:
+                makespan = completion
+            self._window_counts[op["path"]] = (
+                self._window_counts.get(op["path"], 0.0) + 1.0
+            )
+            completed += 1
+            while (
+                failure_cursor < len(pending_failures)
+                and completed >= pending_failures[failure_cursor][0]
+            ):
+                _at, dead = pending_failures[failure_cursor]
+                failure_cursor += 1
+                self._crash_server(dead)
+            if cfg.adjust_every_ops and completed % cfg.adjust_every_ops == 0:
+                self._adjust(now=completion)
+            dispatch(client, completion)
+
+        operations = len(latencies)
+        return SimulationResult(
+            scheme=self.scheme.name,
+            trace=self.trace.name,
+            num_servers=self.num_servers,
+            operations=operations,
+            makespan=makespan,
+            throughput=operations / makespan if makespan > 0 else 0.0,
+            latency=summarize_latencies(latencies),
+            server_visits=[server.served for server in self.servers],
+            server_utilization=[
+                server.cpu.utilization(makespan) for server in self.servers
+            ],
+            redirects=redirects,
+            migrations=self.migrations,
+            lock_waits=self.locks.total_wait,
+            jumps_total=jumps_total,
+        )
+
+
+def simulate(
+    scheme: MetadataScheme,
+    workload: GeneratedWorkload,
+    num_servers: int,
+    config: Optional[SimulationConfig] = None,
+) -> SimulationResult:
+    """One-call wrapper: partition, replay, report."""
+    return ClusterSimulator(scheme, workload, num_servers, config).run()
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 methodology: round-based balance trajectory
+# ----------------------------------------------------------------------
+@dataclass
+class BalanceTrajectory:
+    """Per-round balance degrees under online adjustment."""
+
+    scheme: str
+    trace: str
+    num_servers: int
+    per_round: List[float] = field(default_factory=list)
+    migrations: int = 0
+
+    @property
+    def final_balance(self) -> float:
+        """Balance of the last replay round (the Fig. 7 reading)."""
+        return self.per_round[-1] if self.per_round else float("inf")
+
+
+def _set_popularity_from_counts(tree: NamespaceTree, counts: Dict[str, float]) -> None:
+    for node in tree:
+        node.individual_popularity = counts.get(node.path, 0.0)
+    tree.aggregate_popularity()
+
+
+def _count_paths(trace: Trace) -> Dict[str, float]:
+    counts: Dict[str, float] = {}
+    for record in trace.records:
+        counts[record.path] = counts.get(record.path, 0.0) + 1.0
+    return counts
+
+
+def _served_loads(placement: Placement, tree: NamespaceTree, counts: Dict[str, float]) -> List[float]:
+    loads = [0.0] * placement.num_servers
+    for path, count in counts.items():
+        node = tree.lookup(path)
+        if node is None or not placement.is_placed(node):
+            continue
+        servers = placement.servers_of(node)
+        share = count / len(servers)
+        for server in servers:
+            loads[server] += share
+    return loads
+
+
+def replay_rounds(
+    scheme: MetadataScheme,
+    workload: GeneratedWorkload,
+    num_servers: int,
+    rounds: int = 20,
+    popularity_blend: float = 0.5,
+    normalize: bool = True,
+) -> BalanceTrajectory:
+    """Measure balance while replaying the trace in adjustment rounds.
+
+    Round ``r``'s served load is measured under the placement adapted to
+    rounds ``< r`` (online evaluation); the scheme then observes round ``r``
+    and rebalances. The last round's balance is what Fig. 7 plots.
+    """
+    if rounds < 2:
+        raise ValueError("need at least two rounds (one to adapt, one to measure)")
+    tree = workload.tree
+    initial_popularity = [node.individual_popularity for node in tree]
+    pieces = workload.trace.rounds(rounds)
+    estimate = _count_paths(pieces[0])
+    _set_popularity_from_counts(tree, estimate)
+    placement = scheme.partition(tree, num_servers)
+
+    trajectory = BalanceTrajectory(
+        scheme=scheme.name, trace=workload.trace.name, num_servers=num_servers
+    )
+    for piece in pieces[1:]:
+        counts = _count_paths(piece)
+        loads = _served_loads(placement, tree, counts)
+        if normalize:
+            total = sum(loads)
+            if total > 0:
+                loads = [load * num_servers / total for load in loads]
+        trajectory.per_round.append(balance_degree(loads, placement.capacities))
+        # Servers observe the round and adjust.
+        for path, count in counts.items():
+            estimate[path] = (1 - popularity_blend) * estimate.get(path, 0.0) + (
+                popularity_blend * count
+            )
+        for path in list(estimate):
+            if path not in counts:
+                estimate[path] *= 1 - popularity_blend
+        _set_popularity_from_counts(tree, estimate)
+        trajectory.migrations += len(scheme.rebalance(tree, placement))
+    for node, popularity in zip(tree.nodes, initial_popularity):
+        node.individual_popularity = popularity
+    tree.aggregate_popularity()
+    return trajectory

@@ -1,0 +1,76 @@
+"""Statistics helpers for simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["LatencySummary", "summarize_latencies", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregate latency statistics (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
+    """Summarise a latency sample."""
+    if not latencies:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(latencies)
+    return LatencySummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+        p99=_percentile(ordered, 0.99),
+        maximum=ordered[-1],
+    )
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one trace replay against a simulated cluster."""
+
+    scheme: str
+    trace: str
+    num_servers: int
+    operations: int
+    makespan: float
+    throughput: float
+    latency: LatencySummary
+    server_visits: List[int] = field(default_factory=list)
+    server_utilization: List[float] = field(default_factory=list)
+    redirects: int = 0
+    migrations: int = 0
+    lock_waits: float = 0.0
+    jumps_total: int = 0
+
+    @property
+    def mean_jumps(self) -> float:
+        """Average inter-server transfers per operation."""
+        return self.jumps_total / self.operations if self.operations else 0.0
+
+    def row(self) -> str:
+        """One formatted results row (Fig. 5 style)."""
+        return (
+            f"{self.scheme:<18} {self.trace:<5} M={self.num_servers:<3}"
+            f" thr={self.throughput:9.1f} ops/s"
+            f" p95={self.latency.p95 * 1e3:7.2f} ms"
+            f" jumps/op={self.mean_jumps:5.2f}"
+            f" redirects={self.redirects}"
+        )

@@ -1,0 +1,40 @@
+"""Trace substrate: synthetic equivalents of the paper's Microsoft traces."""
+
+from repro.traces.bundle import BUNDLE_VERSION, load_workload_bundle, save_workload
+from repro.traces.datasets import (
+    DEFAULT_SCALE,
+    PAPER_RECORD_COUNTS,
+    PAPER_TRACE_SIZES_GB,
+    DatasetProfile,
+    all_profiles,
+)
+from repro.traces.generator import (
+    GeneratedWorkload,
+    TraceGenerator,
+    ZipfSampler,
+    load_workload,
+)
+from repro.traces.io import dumps_trace, load_trace, loads_trace, save_trace
+from repro.traces.trace import OpType, Trace, TraceRecord
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "DEFAULT_SCALE",
+    "DatasetProfile",
+    "GeneratedWorkload",
+    "OpType",
+    "PAPER_RECORD_COUNTS",
+    "PAPER_TRACE_SIZES_GB",
+    "Trace",
+    "TraceGenerator",
+    "TraceRecord",
+    "ZipfSampler",
+    "all_profiles",
+    "dumps_trace",
+    "load_trace",
+    "load_workload",
+    "load_workload_bundle",
+    "save_workload",
+    "loads_trace",
+    "save_trace",
+]

@@ -1,0 +1,131 @@
+"""Workload bundles: persist a complete workload (tree + trace) to disk.
+
+A *bundle* is a single JSON-lines file carrying the dataset profile, every
+namespace node (path, kind, popularity, update cost), the trace records, and
+the workload metadata (hot set, late-created paths). Loading a bundle
+reconstructs a :class:`GeneratedWorkload` bit-for-bit, so experiments can be
+archived and replayed on another machine without re-running the generator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.namespace import NamespaceTree
+from repro.traces.datasets import DatasetProfile
+from repro.traces.generator import GeneratedWorkload
+from repro.traces.trace import OpType, Trace, TraceRecord
+
+__all__ = ["save_workload", "load_workload_bundle", "BUNDLE_VERSION"]
+
+BUNDLE_VERSION = 1
+
+
+def save_workload(workload: GeneratedWorkload, path: Union[str, Path]) -> None:
+    """Write a workload bundle to ``path`` (JSON lines)."""
+    workload.tree.ensure_popularity()
+    with open(path, "w", encoding="utf-8") as out:
+        header = {
+            "kind": "repro-workload-bundle",
+            "version": BUNDLE_VERSION,
+            "profile": dataclasses.asdict(workload.profile),
+            "trace_name": workload.trace.name,
+            "trace_description": workload.trace.description,
+            "hot_paths": [node.path for node in workload.hot_nodes],
+            "late_created_paths": list(workload.late_created_paths),
+            "root": {
+                "ip": workload.tree.root.individual_popularity,
+                "u": workload.tree.root.update_cost,
+            },
+        }
+        out.write(json.dumps(header) + "\n")
+        for node in workload.tree:
+            if node.parent is None:
+                continue  # the root is implicit
+            out.write(
+                json.dumps(
+                    {
+                        "t": "n",
+                        "p": node.path,
+                        "d": int(node.is_directory),
+                        "ip": node.individual_popularity,
+                        "u": node.update_cost,
+                    }
+                )
+                + "\n"
+            )
+        for record in workload.trace.records:
+            out.write(
+                json.dumps(
+                    {
+                        "t": "r",
+                        "ts": record.timestamp,
+                        "op": record.op.value,
+                        "p": record.path,
+                        "c": record.client_id,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_workload_bundle(path: Union[str, Path]) -> GeneratedWorkload:
+    """Reconstruct a workload from a bundle written by :func:`save_workload`."""
+    tree = NamespaceTree()
+    records = []
+    header = None
+    with open(path, "r", encoding="utf-8") as source:
+        for line_number, line in enumerate(source, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if header is None:
+                if payload.get("kind") != "repro-workload-bundle":
+                    raise ValueError("not a workload bundle")
+                if payload.get("version") != BUNDLE_VERSION:
+                    raise ValueError(
+                        f"unsupported bundle version {payload.get('version')}"
+                    )
+                header = payload
+                continue
+            if payload["t"] == "n":
+                node = tree.add_path(payload["p"], is_directory=bool(payload["d"]))
+                node.individual_popularity = float(payload["ip"])
+                node.update_cost = float(payload["u"])
+            elif payload["t"] == "r":
+                records.append(
+                    TraceRecord(
+                        timestamp=float(payload["ts"]),
+                        op=OpType(payload["op"]),
+                        path=payload["p"],
+                        client_id=int(payload["c"]),
+                    )
+                )
+            else:  # pragma: no cover - forward compatibility guard
+                raise ValueError(f"line {line_number}: unknown entry {payload['t']!r}")
+    if header is None:
+        raise ValueError("empty bundle")
+    root_attrs = header.get("root", {})
+    tree.root.individual_popularity = float(root_attrs.get("ip", 0.0))
+    tree.root.update_cost = float(root_attrs.get("u", 0.0))
+    tree.aggregate_popularity()
+    profile = DatasetProfile(**header["profile"])
+    trace = Trace(
+        name=header["trace_name"],
+        records=records,
+        description=header["trace_description"],
+    )
+    hot_nodes = [
+        tree.lookup(p) for p in header["hot_paths"] if tree.lookup(p) is not None
+    ]
+    return GeneratedWorkload(
+        profile=profile,
+        tree=tree,
+        trace=trace,
+        hot_nodes=hot_nodes,
+        late_created_paths=list(header.get("late_created_paths", [])),
+    )

@@ -1,0 +1,69 @@
+"""Trace (de)serialization — a simple line-oriented interchange format.
+
+Each line is ``timestamp<TAB>op<TAB>client_id<TAB>path``; the header carries
+the trace name and description. Round-tripping is lossless, so generated
+workloads can be archived and replayed across runs.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.traces.trace import OpType, Trace, TraceRecord
+
+__all__ = ["save_trace", "load_trace", "dumps_trace", "loads_trace"]
+
+_HEADER_PREFIX = "#trace"
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize a trace to its text form."""
+    out = io.StringIO()
+    description = trace.description.replace("\n", " ")
+    out.write(f"{_HEADER_PREFIX}\t{trace.name}\t{description}\n")
+    for record in trace.records:
+        out.write(
+            f"{record.timestamp:.6f}\t{record.op.value}\t{record.client_id}\t{record.path}\n"
+        )
+    return out.getvalue()
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse a trace from its text form."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(_HEADER_PREFIX):
+        raise ValueError("missing trace header line")
+    header = lines[0].split("\t")
+    if len(header) < 2:
+        raise ValueError("malformed trace header")
+    name = header[1]
+    description = header[2] if len(header) > 2 else ""
+    records = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise ValueError(f"line {lineno}: expected 4 tab-separated fields")
+        timestamp, op, client_id, path = parts
+        records.append(
+            TraceRecord(
+                timestamp=float(timestamp),
+                op=OpType(op),
+                client_id=int(client_id),
+                path=path,
+            )
+        )
+    return Trace(name=name, records=records, description=description)
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path``."""
+    Path(path).write_text(dumps_trace(trace), encoding="utf-8")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace from ``path``."""
+    return loads_trace(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,121 @@
+"""Trace model: metadata operations replayed against an MDS cluster.
+
+The paper filters the raw Microsoft traces down to metadata-related
+operations (read / write / update, Table II) and notes that reads and writes
+"only cause simply a query operation to MDS's" — only *update* operations
+mutate metadata and (for global-layer nodes) take the lock service path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["OpType", "TraceRecord", "Trace"]
+
+
+class OpType(enum.Enum):
+    """Metadata operation categories.
+
+    READ/WRITE/UPDATE are the Table II categories; CREATE is this
+    reproduction's extension for namespace growth mid-trace (the paper's
+    traces were filtered down to the first three).
+    """
+
+    READ = "read"
+    WRITE = "write"
+    UPDATE = "update"
+    CREATE = "create"
+
+    @property
+    def is_query(self) -> bool:
+        """Reads and writes are plain metadata queries (Sec. VI, Datasets)."""
+        return self in (OpType.READ, OpType.WRITE)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One metadata operation.
+
+    Attributes
+    ----------
+    timestamp:
+        Arrival time in seconds from trace start.
+    op:
+        Operation category.
+    path:
+        Absolute path of the target metadata node.
+    client_id:
+        Issuing client (drives per-client caches in the simulator).
+    """
+
+    timestamp: float
+    op: OpType
+    path: str
+    client_id: int = 0
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of metadata operations plus its provenance."""
+
+    name: str
+    records: List[TraceRecord] = field(default_factory=list)
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the trace (seconds)."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].timestamp - self.records[0].timestamp
+
+    def operation_breakdown(self) -> Dict[OpType, float]:
+        """Fraction of each operation type (the Table II rows)."""
+        if not self.records:
+            return {op: 0.0 for op in OpType}
+        counts = {op: 0 for op in OpType}
+        for record in self.records:
+            counts[record.op] += 1
+        total = len(self.records)
+        return {op: counts[op] / total for op in OpType}
+
+    def max_depth(self) -> int:
+        """Deepest path referenced by the trace (Table I's Max Depth)."""
+        depth = 0
+        for record in self.records:
+            parts = sum(1 for part in record.path.split("/") if part)
+            if parts > depth:
+                depth = parts
+        return depth
+
+    def paths(self) -> List[str]:
+        """Distinct paths, in first-appearance order."""
+        seen = {}
+        for record in self.records:
+            if record.path not in seen:
+                seen[record.path] = None
+        return list(seen)
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "Trace":
+        """Sub-trace covering ``records[start:stop]``."""
+        return Trace(
+            name=f"{self.name}[{start}:{stop if stop is not None else ''}]",
+            records=self.records[start:stop],
+            description=self.description,
+        )
+
+    def rounds(self, count: int) -> List["Trace"]:
+        """Split into ``count`` near-equal replay rounds (Fig. 7 methodology)."""
+        if count < 1:
+            raise ValueError("need at least one round")
+        size = len(self.records)
+        bounds = [round(i * size / count) for i in range(count + 1)]
+        return [self.slice(bounds[i], bounds[i + 1]) for i in range(count)]

@@ -1,0 +1,207 @@
+"""Unit tests for Dynamic-Adjustment (counters, pending pool, adjuster)."""
+
+import math
+
+import pytest
+
+from repro.core import DecayingCounter, DynamicAdjuster, NamespaceTree, PendingPool
+from repro.core.adjustment import AdjustmentReport
+
+
+# ----------------------------------------------------------------------
+# DecayingCounter
+# ----------------------------------------------------------------------
+def test_counter_accumulates_without_decay():
+    counter = DecayingCounter(decay_rate=0.0)
+    counter.record(0.0)
+    counter.record(10.0)
+    assert counter.value() == pytest.approx(2.0)
+
+
+def test_counter_decays_exponentially():
+    counter = DecayingCounter(decay_rate=0.5)
+    counter.record(0.0, weight=8.0)
+    assert counter.value(now=2.0) == pytest.approx(8.0 * math.exp(-1.0))
+
+
+def test_counter_decay_applied_before_record():
+    counter = DecayingCounter(decay_rate=1.0)
+    counter.record(0.0, weight=4.0)
+    counter.record(1.0, weight=1.0)
+    assert counter.value() == pytest.approx(4.0 * math.exp(-1.0) + 1.0)
+
+
+def test_counter_clamps_out_of_order_records():
+    # Event completions in the simulator are not globally monotone; an
+    # out-of-order record counts at the current decay level, never raises.
+    counter = DecayingCounter(decay_rate=0.0)
+    counter.record(5.0)
+    counter.record(1.0)
+    assert counter.value() == pytest.approx(2.0)
+
+
+def test_counter_rejects_negative_decay():
+    with pytest.raises(ValueError):
+        DecayingCounter(decay_rate=-0.1)
+
+
+def test_counter_value_without_advance():
+    counter = DecayingCounter(decay_rate=0.1)
+    counter.record(0.0, weight=3.0)
+    assert counter.value() == pytest.approx(3.0)
+
+
+# ----------------------------------------------------------------------
+# PendingPool
+# ----------------------------------------------------------------------
+def _node(tree, path, weight):
+    node = tree.add_path(path)
+    tree.record_access(node, weight)
+    tree.aggregate_popularity()
+    return node
+
+
+def test_pool_offer_and_drain():
+    tree = NamespaceTree()
+    a = _node(tree, "/a", 5.0)
+    pool = PendingPool()
+    pool.offer(a, source_server=1, popularity=5.0)
+    assert len(pool) == 1
+    assert pool.total_popularity == 5.0
+    entries = pool.take_all()
+    assert len(entries) == 1
+    assert entries[0].subtree_root is a
+    assert len(pool) == 0
+
+
+def test_pool_rejects_negative_popularity():
+    tree = NamespaceTree()
+    a = _node(tree, "/a", 1.0)
+    pool = PendingPool()
+    with pytest.raises(ValueError):
+        pool.offer(a, 0, -1.0)
+
+
+def test_pool_entries_snapshot_is_copy():
+    tree = NamespaceTree()
+    a = _node(tree, "/a", 1.0)
+    pool = PendingPool()
+    pool.offer(a, 0, 1.0)
+    snapshot = pool.entries()
+    snapshot.clear()
+    assert len(pool) == 1
+
+
+# ----------------------------------------------------------------------
+# DynamicAdjuster
+# ----------------------------------------------------------------------
+def _subtrees(tree, spec):
+    """spec: list of (path, popularity, server). Returns owner dict."""
+    owner = {}
+    for path, pop, server in spec:
+        node = tree.add_path(path, is_directory=True)
+        tree.record_access(node, pop)
+        owner[node] = server
+    tree.aggregate_popularity()
+    return owner
+
+
+def _loads(owner, num_servers):
+    loads = [0.0] * num_servers
+    for root, server in owner.items():
+        loads[server] += root.popularity
+    return loads
+
+
+def test_balanced_cluster_is_left_alone():
+    tree = NamespaceTree()
+    owner = _subtrees(tree, [("/a", 10, 0), ("/b", 10, 1)])
+    adjuster = DynamicAdjuster(imbalance_tolerance=0.1)
+    report = adjuster.adjust(owner, _loads(owner, 2), [1.0, 1.0])
+    assert report.migrations == []
+    assert report.offered == 0
+
+
+def test_overloaded_server_sheds_to_light():
+    tree = NamespaceTree()
+    owner = _subtrees(
+        tree, [("/a", 10, 0), ("/b", 10, 0), ("/c", 10, 0), ("/d", 1, 1)]
+    )
+    adjuster = DynamicAdjuster(imbalance_tolerance=0.1)
+    report = adjuster.adjust(owner, _loads(owner, 2), [1.0, 1.0])
+    assert report.migrations
+    for _root, source, target in report.migrations:
+        assert source == 0
+        assert target == 1
+    new_loads = _loads(owner, 2)
+    assert abs(new_loads[0] - new_loads[1]) < 31
+
+
+def test_adjust_reduces_imbalance():
+    tree = NamespaceTree()
+    spec = [(f"/s{i}", 5 + (i % 7), 0) for i in range(20)]
+    spec += [(f"/t{i}", 1, 1) for i in range(3)]
+    owner = _subtrees(tree, spec)
+    before = _loads(owner, 2)
+    adjuster = DynamicAdjuster(imbalance_tolerance=0.05)
+    adjuster.adjust(owner, before, [1.0, 1.0])
+    after = _loads(owner, 2)
+    assert max(after) - min(after) < max(before) - min(before)
+
+
+def test_capacity_weighted_ideal():
+    tree = NamespaceTree()
+    owner = _subtrees(tree, [(f"/s{i}", 10, 0) for i in range(6)])
+    adjuster = DynamicAdjuster(imbalance_tolerance=0.0)
+    adjuster.adjust(owner, _loads(owner, 2), [2.0, 1.0])
+    after = _loads(owner, 2)
+    # Server 0 has twice the capacity: should keep roughly 2/3 of the load.
+    assert after[0] > after[1]
+
+
+def test_report_moved_popularity():
+    tree = NamespaceTree()
+    owner = _subtrees(tree, [("/a", 30, 0), ("/b", 2, 1)])
+    adjuster = DynamicAdjuster(imbalance_tolerance=0.0)
+    report = adjuster.adjust(owner, _loads(owner, 2), [1.0, 1.0])
+    assert report.moved_popularity == pytest.approx(
+        sum(n.popularity for n, _s, _t in report.migrations)
+    )
+
+
+def test_mismatched_inputs_rejected():
+    adjuster = DynamicAdjuster()
+    with pytest.raises(ValueError):
+        adjuster.adjust({}, [1.0], [1.0, 1.0])
+
+
+def test_zero_capacity_rejected():
+    adjuster = DynamicAdjuster()
+    with pytest.raises(ValueError):
+        adjuster.adjust({}, [0.0, 0.0], [0.0, 0.0])
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError):
+        DynamicAdjuster(imbalance_tolerance=-0.5)
+
+
+def test_empty_system_noop():
+    adjuster = DynamicAdjuster()
+    report = adjuster.adjust({}, [0.0, 0.0], [1.0, 1.0])
+    assert isinstance(report, AdjustmentReport)
+    assert report.migrations == []
+
+
+def test_adjust_converges_over_rounds():
+    tree = NamespaceTree()
+    spec = [(f"/s{i}", 2 + (i * 13 % 11), i % 2) for i in range(40)]
+    owner = _subtrees(tree, spec)
+    adjuster = DynamicAdjuster(imbalance_tolerance=0.05)
+    for _ in range(10):
+        report = adjuster.adjust(owner, _loads(owner, 4), [1.0] * 4)
+        if not report.migrations:
+            break
+    loads = _loads(owner, 4)
+    mu = sum(loads) / 4
+    assert max(loads) <= mu * 1.6

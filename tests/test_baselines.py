@@ -1,0 +1,289 @@
+"""Tests for the comparator schemes of Section VI."""
+
+import pytest
+
+from repro.baselines import (
+    AngleCutScheme,
+    DropScheme,
+    DynamicSubtreeScheme,
+    HashScheme,
+    StaticSubtreeScheme,
+    pathname_cluster_keys,
+    preorder_keys,
+    stable_hash,
+)
+from repro.metrics import balance_from_placement, system_locality
+from tests.conftest import build_random_tree
+
+ALL_SCHEMES = [
+    HashScheme,
+    StaticSubtreeScheme,
+    DynamicSubtreeScheme,
+    DropScheme,
+    AngleCutScheme,
+]
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_random_tree(500, seed=7)
+
+
+# ----------------------------------------------------------------------
+# Generic contract: every scheme places every node
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+def test_partition_complete(tree, scheme_cls):
+    placement = scheme_cls().partition(tree, 4)
+    placement.validate_complete(tree)
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+def test_partition_single_server(tree, scheme_cls):
+    placement = scheme_cls().partition(tree, 1)
+    assert all(placement.primary_of(n) == 0 for n in tree)
+    assert system_locality(tree, placement) == float("inf")
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+def test_partition_deterministic(tree, scheme_cls):
+    a = scheme_cls().partition(tree, 4)
+    b = scheme_cls().partition(tree, 4)
+    assert [a.primary_of(n) for n in tree] == [b.primary_of(n) for n in tree]
+
+
+# ----------------------------------------------------------------------
+# stable_hash
+# ----------------------------------------------------------------------
+def test_stable_hash_deterministic():
+    assert stable_hash("/a/b") == stable_hash("/a/b")
+    assert stable_hash("/a/b") != stable_hash("/a/c")
+
+
+def test_stable_hash_range():
+    assert 0 <= stable_hash("x") < 2 ** 64
+
+
+# ----------------------------------------------------------------------
+# Static hash
+# ----------------------------------------------------------------------
+def test_hash_scheme_spreads_nodes(tree):
+    placement = HashScheme().partition(tree, 8)
+    counts = [0] * 8
+    for node in tree:
+        counts[placement.primary_of(node)] += 1
+    assert min(counts) > 0
+    assert max(counts) < len(tree)
+
+
+def test_hash_scheme_poor_locality_vs_static(tree):
+    hash_pl = HashScheme().partition(tree, 8)
+    static_pl = StaticSubtreeScheme().partition(tree, 8)
+    assert system_locality(tree, static_pl) > system_locality(tree, hash_pl)
+
+
+# ----------------------------------------------------------------------
+# Static subtree
+# ----------------------------------------------------------------------
+def test_static_subtree_keeps_subtrees_whole(tree):
+    placement = StaticSubtreeScheme(cut_depth=1).partition(tree, 4)
+    for node in tree:
+        if node.depth >= 1:
+            anchor = node
+            while anchor.depth > 1:
+                anchor = anchor.parent
+            assert placement.primary_of(node) == placement.primary_of(anchor)
+
+
+def test_static_subtree_jumps_bounded(tree):
+    placement = StaticSubtreeScheme(cut_depth=1).partition(tree, 4)
+    assert all(placement.jumps_for(n) <= 1 for n in tree)
+
+
+def test_static_subtree_locality_flat_in_cluster_size(tree):
+    values = [
+        system_locality(tree, StaticSubtreeScheme().partition(tree, m))
+        for m in (4, 8, 16)
+    ]
+    # Flat up to hash-collision luck with the root server (the (1-1/M)
+    # factor): well within 2x while hash-like schemes move an order of
+    # magnitude.
+    assert max(values) / min(values) < 2.0
+
+
+def test_static_subtree_never_rebalances(tree):
+    scheme = StaticSubtreeScheme()
+    placement = scheme.partition(tree, 4)
+    assert scheme.rebalance(tree, placement) == []
+
+
+def test_static_cut_depth_validation():
+    with pytest.raises(ValueError):
+        StaticSubtreeScheme(cut_depth=0)
+
+
+# ----------------------------------------------------------------------
+# Dynamic subtree
+# ----------------------------------------------------------------------
+def test_dynamic_zone_roots_cover_tree(tree):
+    placement = DynamicSubtreeScheme().partition(tree, 4)
+    assert tree.root in placement.zone_of
+    for node in tree:
+        root = placement.zone_root_of(node)
+        assert placement.primary_of(node) == placement.zone_of[root]
+
+
+def test_dynamic_zone_loads_sum_to_total(tree):
+    placement = DynamicSubtreeScheme().partition(tree, 4)
+    loads = placement.zone_loads(tree)
+    assert sum(loads.values()) == pytest.approx(tree.root.popularity)
+
+
+def test_dynamic_rebalance_reduces_overload(tree):
+    scheme = DynamicSubtreeScheme(imbalance_tolerance=0.05)
+    placement = scheme.partition(tree, 4)
+    # Concentrate: move every depth-1..2 zone to server 0.
+    for zone in list(placement.zone_of):
+        placement.zone_of[zone] = 0
+    placement.rebuild_assignments(tree)
+
+    def spread():
+        loads = [0.0] * 4
+        zl = placement.zone_loads(tree)
+        for root, server in placement.zone_of.items():
+            loads[server] += zl[root]
+        return max(loads) - min(loads)
+
+    before = spread()
+    for _ in range(5):
+        if not scheme.rebalance(tree, placement):
+            break
+    assert spread() < before
+
+
+def test_dynamic_rebalance_reports_migrations(tree):
+    scheme = DynamicSubtreeScheme(imbalance_tolerance=0.01)
+    placement = scheme.partition(tree, 4)
+    for zone in list(placement.zone_of):
+        placement.zone_of[zone] = 1
+    placement.rebuild_assignments(tree)
+    migrations = scheme.rebalance(tree, placement)
+    assert migrations
+    for migration in migrations:
+        assert placement.zone_of[migration.node] == migration.target
+
+
+def test_dynamic_scheme_validation():
+    with pytest.raises(ValueError):
+        DynamicSubtreeScheme(cut_depth=0)
+    with pytest.raises(ValueError):
+        DynamicSubtreeScheme(zones_per_server=0)
+
+
+def test_dynamic_splits_toward_target_zone_count(tree):
+    scheme = DynamicSubtreeScheme(zones_per_server=16)
+    placement = scheme.partition(tree, 8)
+    # Either reached the target or ran out of splittable zones.
+    assert len(placement.zone_of) >= min(16 * 8, len(tree)) * 0.5
+
+
+# ----------------------------------------------------------------------
+# DROP
+# ----------------------------------------------------------------------
+def test_preorder_keys_contiguous_subtrees(tree):
+    keys = preorder_keys(tree)
+    # Every subtree occupies a contiguous key interval.
+    for node in tree:
+        if node.children:
+            subtree_keys = [keys[d] for d in node.descendants(include_self=True)]
+            lo, hi = min(subtree_keys), max(subtree_keys)
+            inside = sum(1 for k in keys.values() if lo <= k <= hi)
+            assert inside == len(subtree_keys)
+
+
+def test_pathname_cluster_keys_cluster_siblings(tree):
+    keys = pathname_cluster_keys(tree)
+    window = 1.0 / (4 * len(tree))
+    for node in tree:
+        if node.is_directory and len(node.children) >= 2:
+            child_keys = sorted(keys[c] for c in node.children)
+            assert child_keys[-1] - child_keys[0] <= window
+
+
+def test_drop_balances_loads(tree):
+    placement = DropScheme().partition(tree, 4)
+    balance = balance_from_placement(tree, placement)
+    static = balance_from_placement(tree, StaticSubtreeScheme().partition(tree, 4))
+    assert balance > static
+
+
+def test_drop_locality_worse_than_static(tree):
+    drop = DropScheme().partition(tree, 8)
+    static = StaticSubtreeScheme().partition(tree, 8)
+    assert system_locality(tree, static) > system_locality(tree, drop)
+
+
+def test_drop_rebalance_refits_boundaries(tree):
+    scheme = DropScheme()
+    placement = scheme.partition(tree, 4)
+    hot = [n for n in tree if not n.is_directory][:10]
+    for node in hot:
+        tree.record_access(node, 500.0)
+    tree.aggregate_popularity()
+    migrations = scheme.rebalance(tree, placement)
+    assert migrations  # boundaries moved
+    placement.validate_complete(tree)
+
+
+def test_drop_virtual_node_validation():
+    with pytest.raises(ValueError):
+        DropScheme(virtual_nodes_per_server=0)
+    with pytest.raises(ValueError):
+        DropScheme(key_mode="nope")
+
+
+def test_drop_preorder_ablation_mode(tree):
+    placement = DropScheme(key_mode="preorder").partition(tree, 4)
+    placement.validate_complete(tree)
+    # Idealised keys preserve more locality than pathname hashing.
+    pathname = DropScheme(key_mode="pathname").partition(tree, 4)
+    assert system_locality(tree, placement) >= system_locality(tree, pathname)
+
+
+# ----------------------------------------------------------------------
+# AngleCut
+# ----------------------------------------------------------------------
+def test_anglecut_rings_by_depth(tree):
+    scheme = AngleCutScheme(num_rings=3)
+    placement = scheme.partition(tree, 4)
+    for node, (ring, angle) in placement.angles.items():
+        assert ring == node.depth % 3
+        assert 0.0 <= angle < 1.0
+
+
+def test_anglecut_balances_loads(tree):
+    placement = AngleCutScheme().partition(tree, 4)
+    static = StaticSubtreeScheme().partition(tree, 4)
+    assert balance_from_placement(tree, placement) > balance_from_placement(tree, static)
+
+
+def test_anglecut_locality_poor(tree):
+    anglecut = AngleCutScheme().partition(tree, 8)
+    static = StaticSubtreeScheme().partition(tree, 8)
+    assert system_locality(tree, static) > system_locality(tree, anglecut)
+
+
+def test_anglecut_rebalance_consistency(tree):
+    scheme = AngleCutScheme()
+    placement = scheme.partition(tree, 4)
+    hot = [n for n in tree if not n.is_directory][-10:]
+    for node in hot:
+        tree.record_access(node, 300.0)
+    tree.aggregate_popularity()
+    scheme.rebalance(tree, placement)
+    placement.validate_complete(tree)
+
+
+def test_anglecut_ring_validation():
+    with pytest.raises(ValueError):
+        AngleCutScheme(num_rings=0)

@@ -1,0 +1,84 @@
+"""Tests for workload bundle persistence."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core import D2TreeScheme
+from repro.metrics import evaluate_scheme
+from repro.traces import DatasetProfile, TraceGenerator
+from repro.traces.bundle import load_workload_bundle, save_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    profile = dataclasses.replace(
+        DatasetProfile.ra(num_nodes=900, scale=8e-6), create_fraction=0.1
+    )
+    return TraceGenerator(profile, num_clients=10).generate()
+
+
+def test_roundtrip_tree_structure(tmp_path, workload):
+    path = tmp_path / "wl.jsonl"
+    save_workload(workload, path)
+    loaded = load_workload_bundle(path)
+    assert len(loaded.tree) == len(workload.tree)
+    assert loaded.tree.depth() == workload.tree.depth()
+    for node in workload.tree:
+        twin = loaded.tree.lookup(node.path)
+        assert twin is not None
+        assert twin.is_directory == node.is_directory
+        assert twin.individual_popularity == pytest.approx(node.individual_popularity)
+        assert twin.update_cost == pytest.approx(node.update_cost)
+
+
+def test_roundtrip_trace(tmp_path, workload):
+    path = tmp_path / "wl.jsonl"
+    save_workload(workload, path)
+    loaded = load_workload_bundle(path)
+    assert len(loaded.trace) == len(workload.trace)
+    assert loaded.trace.records[:50] == workload.trace.records[:50]
+    assert loaded.trace.name == workload.trace.name
+
+
+def test_roundtrip_metadata(tmp_path, workload):
+    path = tmp_path / "wl.jsonl"
+    save_workload(workload, path)
+    loaded = load_workload_bundle(path)
+    assert loaded.profile == workload.profile
+    assert {n.path for n in loaded.hot_nodes} == {n.path for n in workload.hot_nodes}
+    assert loaded.late_created_paths == workload.late_created_paths
+
+
+def test_loaded_workload_evaluates_identically(tmp_path, workload):
+    path = tmp_path / "wl.jsonl"
+    save_workload(workload, path)
+    loaded = load_workload_bundle(path)
+    original = evaluate_scheme(D2TreeScheme(), workload.tree, 4)
+    replayed = evaluate_scheme(D2TreeScheme(), loaded.tree, 4)
+    assert replayed.locality == pytest.approx(original.locality)
+    assert replayed.balance == pytest.approx(original.balance)
+
+
+def test_rejects_non_bundle(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"kind": "something-else"}) + "\n")
+    with pytest.raises(ValueError):
+        load_workload_bundle(path)
+
+
+def test_rejects_wrong_version(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        json.dumps({"kind": "repro-workload-bundle", "version": 99}) + "\n"
+    )
+    with pytest.raises(ValueError):
+        load_workload_bundle(path)
+
+
+def test_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        load_workload_bundle(path)

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_writes_trace(tmp_path, capsys):
+    out_file = tmp_path / "trace.tsv"
+    code, out = run(
+        capsys, "generate", "--trace", "lmbe", "--nodes", "600",
+        "--scale", "1e-5", str(out_file),
+    )
+    assert code == 0
+    assert out_file.exists()
+    assert "operations" in out
+    from repro.traces import load_trace
+
+    trace = load_trace(out_file)
+    assert len(trace) > 0
+
+
+def test_evaluate_single_scheme(capsys):
+    code, out = run(
+        capsys, "evaluate", "--trace", "ra", "--nodes", "600",
+        "--scale", "1e-5", "--servers", "4", "--scheme", "d2-tree",
+    )
+    assert code == 0
+    assert "d2-tree" in out
+    assert "balance=" in out
+
+
+def test_evaluate_all_schemes(capsys):
+    code, out = run(
+        capsys, "evaluate", "--trace", "dtr", "--nodes", "600",
+        "--scale", "1e-5", "--servers", "4",
+    )
+    assert code == 0
+    for name in ("d2-tree", "static-subtree", "drop", "anglecut", "static-hash"):
+        assert name in out
+
+
+def test_simulate_scheme(capsys):
+    code, out = run(
+        capsys, "simulate", "--trace", "dtr", "--nodes", "600",
+        "--scale", "1e-5", "--servers", "4", "--scheme", "d2-tree",
+    )
+    assert code == 0
+    assert "ops/s" in out
+
+
+def test_figure_csv_output(capsys):
+    code, out = run(
+        capsys, "figure", "fig6", "--trace", "dtr", "--nodes", "600",
+        "--scale", "1e-5", "--sizes", "2", "4",
+    )
+    assert code == 0
+    lines = [line for line in out.splitlines() if line]
+    assert lines[0] == "scheme,M=2,M=4"
+    assert len(lines) == 1 + 6  # header + six schemes
+    for line in lines[1:]:
+        assert len(line.split(",")) == 3
+
+
+def test_figure_fig7_runs(capsys):
+    code, out = run(
+        capsys, "figure", "fig7", "--trace", "lmbe", "--nodes", "600",
+        "--scale", "1e-5", "--sizes", "3",
+    )
+    assert code == 0
+    assert "d2-tree," in out
+
+
+def test_generate_bundle(tmp_path, capsys):
+    out_file = tmp_path / "wl.jsonl"
+    code, out = run(
+        capsys, "generate", "--trace", "ra", "--nodes", "600",
+        "--scale", "1e-5", "--bundle", str(out_file),
+    )
+    assert code == 0
+    assert "workload bundle" in out
+    from repro.traces import load_workload_bundle
+
+    loaded = load_workload_bundle(out_file)
+    assert len(loaded.trace) > 0
+    assert len(loaded.tree) > 0
+
+
+def test_stats_command(capsys):
+    code, out = run(
+        capsys, "stats", "--trace", "dtr", "--nodes", "600", "--scale", "1e-5",
+    )
+    assert code == 0
+    assert "operations=" in out
+    assert "zipf" in out
+
+
+def test_stats_from_file(tmp_path, capsys):
+    trace_file = tmp_path / "t.tsv"
+    run(capsys, "generate", "--trace", "lmbe", "--nodes", "600",
+        "--scale", "1e-5", str(trace_file))
+    code, out = run(capsys, "stats", "--input", str(trace_file))
+    assert code == 0
+    assert "LMBE" in out
+
+
+def test_figure_chart_mode(capsys):
+    code, out = run(
+        capsys, "figure", "fig6", "--trace", "dtr", "--nodes", "600",
+        "--scale", "1e-5", "--sizes", "2", "4", "--chart",
+    )
+    assert code == 0
+    assert "legend:" in out
+    assert "d2-tree" in out
+
+
+def test_invalid_scheme_rejected():
+    with pytest.raises(SystemExit):
+        main(["evaluate", "--scheme", "nonsense"])

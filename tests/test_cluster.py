@@ -1,0 +1,254 @@
+"""Tests for the cluster substrate: caches, locks, servers, monitor, clients."""
+
+import pytest
+
+from repro.cluster import (
+    Heartbeat,
+    LockManager,
+    LRUCache,
+    MetadataServer,
+    Monitor,
+    SimClient,
+    VersionedEntry,
+)
+from repro.core import D2TreeScheme
+from tests.conftest import build_random_tree
+
+
+# ----------------------------------------------------------------------
+# LRUCache
+# ----------------------------------------------------------------------
+def test_cache_put_get():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("b") is None
+
+
+def test_cache_eviction_order():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh a
+    cache.put("c", 3)  # evicts b
+    assert "a" in cache
+    assert "b" not in cache
+    assert "c" in cache
+
+
+def test_cache_put_refreshes_recency():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    cache.put("c", 3)  # evicts b, not a
+    assert cache.get("a") == 10
+    assert "b" not in cache
+
+
+def test_cache_peek_does_not_touch_stats():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.peek("a")
+    cache.peek("missing")
+    assert cache.stats() == (0, 0)
+
+
+def test_cache_hit_rate():
+    cache = LRUCache(4)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("b")
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_cache_invalidate():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    assert cache.invalidate("a")
+    assert not cache.invalidate("a")
+
+
+def test_cache_clear_and_len():
+    cache = LRUCache(3)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_cache_capacity_validation():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_versioned_entry_freshness():
+    entry = VersionedEntry("value", version=3, expires_at=10.0)
+    assert entry.fresh(now=5.0)
+    assert not entry.fresh(now=11.0)
+    assert entry.fresh(now=5.0, current_version=3)
+    assert not entry.fresh(now=5.0, current_version=4)
+
+
+# ----------------------------------------------------------------------
+# LockManager
+# ----------------------------------------------------------------------
+def test_lock_serializes_same_key():
+    locks = LockManager()
+    first = locks.acquire("/a", now=0.0, hold_for=1.0)
+    second = locks.acquire("/a", now=0.0, hold_for=1.0)
+    assert first == 0.0
+    assert second == 1.0
+
+
+def test_lock_keys_independent():
+    locks = LockManager()
+    locks.acquire("/a", now=0.0, hold_for=5.0)
+    assert locks.acquire("/b", now=0.0, hold_for=1.0) == 0.0
+    assert len(locks) == 2
+
+
+def test_lock_acquire_latency_added():
+    locks = LockManager(acquire_latency=0.5)
+    assert locks.acquire("/a", now=0.0, hold_for=1.0) == 0.5
+
+
+def test_lock_contention_metric():
+    locks = LockManager()
+    locks.acquire("/a", 0.0, 2.0)
+    locks.acquire("/a", 0.0, 2.0)
+    assert locks.contention() == pytest.approx(1.0)
+    assert locks.acquisitions == 2
+
+
+def test_lock_negative_hold_rejected():
+    locks = LockManager()
+    with pytest.raises(ValueError):
+        locks.acquire("/a", 0.0, -1.0)
+
+
+def test_lock_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        LockManager(acquire_latency=-0.1)
+
+
+# ----------------------------------------------------------------------
+# MetadataServer
+# ----------------------------------------------------------------------
+def test_server_fifo_queueing():
+    server = MetadataServer(0, service_time=1.0)
+    assert server.process(0.0) == 1.0
+    assert server.process(0.0) == 2.0  # queued behind the first
+    assert server.process(5.0) == 6.0  # idle gap, then serve
+
+
+def test_server_work_scaling():
+    server = MetadataServer(0, service_time=2.0)
+    assert server.process(0.0, work=0.5) == 1.0
+
+
+def test_server_counters_decay_and_report():
+    server = MetadataServer(0, counter_decay=0.0)
+    server.record_access("/a", now=0.0)
+    server.record_access("/a", now=1.0)
+    server.record_access("/b", now=1.0, weight=3.0)
+    assert server.counter_value("/a", now=1.0) == pytest.approx(2.0)
+    assert server.load_report(now=1.0) == pytest.approx(5.0)
+    server.drop_counter("/a")
+    assert server.counter_value("/a", now=2.0) == 0.0
+
+
+def test_server_failure_blocks_processing():
+    server = MetadataServer(0)
+    server.fail()
+    with pytest.raises(RuntimeError):
+        server.process(0.0)
+    server.recover()
+    server.process(0.0)
+    assert server.served == 1
+
+
+def test_server_service_time_validation():
+    with pytest.raises(ValueError):
+        MetadataServer(0, service_time=0.0)
+
+
+# ----------------------------------------------------------------------
+# Monitor
+# ----------------------------------------------------------------------
+@pytest.fixture
+def monitored_cluster():
+    tree = build_random_tree(300)
+    scheme = D2TreeScheme(global_layer_fraction=0.05)
+    placement = scheme.partition(tree, 4)
+    return tree, scheme, placement, Monitor(scheme, tree, placement, heartbeat_timeout=10.0)
+
+
+def test_monitor_heartbeats(monitored_cluster):
+    _tree, _scheme, _placement, monitor = monitored_cluster
+    monitor.on_heartbeat(Heartbeat(server=0, time=1.0, load=5.0, relative_capacity=0.2))
+    assert monitor.last_seen(0) == 1.0
+    assert monitor.last_seen(1) is None
+    assert monitor.reported_loads() == {0: 5.0}
+
+
+def test_monitor_failure_detection(monitored_cluster):
+    _tree, _scheme, _placement, monitor = monitored_cluster
+    monitor.on_heartbeat(Heartbeat(0, 0.0, 1.0, 0.0))
+    monitor.on_heartbeat(Heartbeat(1, 9.0, 1.0, 0.0))
+    assert monitor.detect_failures(now=12.0) == [0]
+
+
+def test_monitor_rebalance_counts(monitored_cluster):
+    tree, _scheme, placement, monitor = monitored_cluster
+    for root in list(placement.subtree_owner):
+        placement.move_subtree(root, 0)
+    migrations = monitor.rebalance()
+    assert monitor.rebalances == 1
+    assert monitor.total_migrations == len(migrations)
+
+
+def test_monitor_owner_lookup(monitored_cluster):
+    tree, _scheme, placement, monitor = monitored_cluster
+    root = next(iter(placement.subtree_owner))
+    assert monitor.owner_of_subtree(root.path) == placement.subtree_owner[root]
+    assert monitor.owner_of_subtree("/definitely/not/there") is None
+
+
+# ----------------------------------------------------------------------
+# SimClient
+# ----------------------------------------------------------------------
+def test_client_pick_any_in_range():
+    client = SimClient(0, num_servers=4, seed=1)
+    assert all(0 <= client.pick_any_server() < 4 for _ in range(50))
+
+
+def test_client_owner_cache():
+    client = SimClient(0, num_servers=4)
+    assert client.cached_owner("/a") == -1
+    client.learn_owner("/a", 2)
+    assert client.cached_owner("/a") == 2
+
+
+def test_client_prefix_cache():
+    client = SimClient(0, num_servers=4)
+    assert client.cached_prefix_server("/a") == -1
+    client.mark_prefix_checked("/a", 3)
+    assert client.cached_prefix_server("/a") == 3
+
+
+def test_client_stats():
+    client = SimClient(0, num_servers=2)
+    client.note_operation(redirected=False)
+    client.note_operation(redirected=True)
+    assert client.operations == 2
+    assert client.redirects == 1
+
+
+def test_clients_with_different_ids_diverge():
+    a = SimClient(0, num_servers=16, seed=5)
+    b = SimClient(1, num_servers=16, seed=5)
+    seq_a = [a.pick_any_server() for _ in range(20)]
+    seq_b = [b.pick_any_server() for _ in range(20)]
+    assert seq_a != seq_b

@@ -1,0 +1,172 @@
+"""Tests for the synthetic trace generator."""
+
+import random
+
+import pytest
+
+from repro.traces import DatasetProfile, OpType, TraceGenerator, ZipfSampler, load_workload
+from repro.traces.generator import STRUCTURAL_UPDATE_COST
+
+
+@pytest.fixture(scope="module")
+def dtr_workload():
+    return TraceGenerator(DatasetProfile.dtr(num_nodes=1500, scale=6e-5)).generate()
+
+
+# ----------------------------------------------------------------------
+# ZipfSampler
+# ----------------------------------------------------------------------
+def test_zipf_sampler_range():
+    sampler = ZipfSampler(10, 1.0, random.Random(1))
+    samples = [sampler.sample() for _ in range(500)]
+    assert all(0 <= s < 10 for s in samples)
+
+
+def test_zipf_sampler_skew():
+    sampler = ZipfSampler(50, 1.2, random.Random(2))
+    samples = [sampler.sample() for _ in range(3000)]
+    low_ranks = sum(1 for s in samples if s < 5)
+    high_ranks = sum(1 for s in samples if s >= 45)
+    assert low_ranks > 5 * high_ranks
+
+
+def test_zipf_sampler_uniform_when_exponent_zero():
+    sampler = ZipfSampler(4, 0.0, random.Random(3))
+    counts = [0] * 4
+    for _ in range(4000):
+        counts[sampler.sample()] += 1
+    assert max(counts) < 2 * min(counts)
+
+
+def test_zipf_sampler_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0, random.Random(1))
+    with pytest.raises(ValueError):
+        ZipfSampler(5, -1.0, random.Random(1))
+
+
+# ----------------------------------------------------------------------
+# Generated tree structure
+# ----------------------------------------------------------------------
+def test_tree_size_matches_profile(dtr_workload):
+    assert len(dtr_workload.tree) == pytest.approx(1500, abs=5)
+
+
+def test_exact_max_depth(dtr_workload):
+    assert dtr_workload.tree.depth() == 49
+
+
+def test_lmbe_shallow_depth():
+    workload = TraceGenerator(DatasetProfile.lmbe(num_nodes=1200, scale=2e-5)).generate()
+    assert workload.tree.depth() == 9
+
+
+def test_hot_set_size(dtr_workload):
+    expected = round(0.01 * 1500)
+    assert len(dtr_workload.hot_nodes) == pytest.approx(expected, abs=2)
+
+
+def test_tree_is_valid(dtr_workload):
+    dtr_workload.tree.validate()
+
+
+# ----------------------------------------------------------------------
+# Generated trace properties
+# ----------------------------------------------------------------------
+def test_trace_length(dtr_workload):
+    assert len(dtr_workload.trace) == dtr_workload.profile.num_operations
+
+
+def test_operation_mix_close_to_table2(dtr_workload):
+    breakdown = dtr_workload.trace.operation_breakdown()
+    assert breakdown[OpType.READ] == pytest.approx(0.677, abs=0.03)
+    assert breakdown[OpType.WRITE] == pytest.approx(0.261, abs=0.03)
+    assert breakdown[OpType.UPDATE] == pytest.approx(0.061, abs=0.02)
+
+
+def test_hot_hit_fraction_close_to_target(dtr_workload):
+    assert dtr_workload.hot_hit_fraction() == pytest.approx(0.83, abs=0.04)
+
+
+def test_timestamps_monotonic(dtr_workload):
+    stamps = [r.timestamp for r in dtr_workload.trace.records]
+    assert all(b >= a for a, b in zip(stamps, stamps[1:]))
+
+
+def test_all_paths_resolvable(dtr_workload):
+    tree = dtr_workload.tree
+    assert all(tree.lookup(r.path) is not None for r in dtr_workload.trace.records)
+
+
+def test_client_ids_in_range():
+    workload = TraceGenerator(
+        DatasetProfile.lmbe(num_nodes=1200, scale=2e-5), num_clients=7
+    ).generate()
+    assert all(0 <= r.client_id < 7 for r in workload.trace.records)
+
+
+# ----------------------------------------------------------------------
+# Popularity / update-cost backfill
+# ----------------------------------------------------------------------
+def test_popularity_matches_trace_counts(dtr_workload):
+    tree, trace = dtr_workload.tree, dtr_workload.trace
+    counts = {}
+    for record in trace.records:
+        counts[record.path] = counts.get(record.path, 0) + 1
+    for path, count in list(counts.items())[:50]:
+        assert tree.lookup(path).individual_popularity == count
+
+
+def test_total_popularity_equals_trace_length(dtr_workload):
+    assert dtr_workload.tree.total_popularity == pytest.approx(
+        len(dtr_workload.trace)
+    )
+
+
+def test_update_costs_include_floor(dtr_workload):
+    assert all(n.update_cost >= STRUCTURAL_UPDATE_COST for n in dtr_workload.tree)
+
+
+def test_update_costs_reflect_update_ops(dtr_workload):
+    tree, trace = dtr_workload.tree, dtr_workload.trace
+    updates = {}
+    for record in trace.records:
+        if record.op is OpType.UPDATE:
+            updates[record.path] = updates.get(record.path, 0) + 1
+    for path, count in list(updates.items())[:20]:
+        assert tree.lookup(path).update_cost == pytest.approx(
+            STRUCTURAL_UPDATE_COST + count
+        )
+
+
+# ----------------------------------------------------------------------
+# Determinism and caching
+# ----------------------------------------------------------------------
+def test_generation_deterministic():
+    profile = DatasetProfile.ra(num_nodes=800, scale=6e-6)
+    a = TraceGenerator(profile).generate()
+    b = TraceGenerator(profile).generate()
+    assert [r.path for r in a.trace.records] == [r.path for r in b.trace.records]
+
+
+def test_load_workload_cached():
+    profile = DatasetProfile.ra(num_nodes=800, scale=6e-6)
+    a = load_workload(profile)
+    b = load_workload(profile)
+    assert a is b
+
+
+def test_drift_shifts_hot_ranking():
+    profile = DatasetProfile.dtr(num_nodes=1500, scale=2e-4)
+    workload = TraceGenerator(profile).generate()
+    rounds = workload.trace.rounds(profile.drift_phases)
+    first, last = rounds[0], rounds[-1]
+
+    def top_paths(piece):
+        counts = {}
+        for record in piece.records:
+            counts[record.path] = counts.get(record.path, 0) + 1
+        return {p for p, _ in sorted(counts.items(), key=lambda kv: -kv[1])[:10]}
+
+    # Diurnal drift: the hottest paths at the end differ from the start.
+    assert top_paths(first) != top_paths(last)

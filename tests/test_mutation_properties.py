@@ -1,0 +1,107 @@
+"""Property tests: namespace-tree integrity under random mutation sequences."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NamespaceTree
+
+
+def build_tree(seed: int, size: int) -> NamespaceTree:
+    rng = random.Random(seed)
+    tree = NamespaceTree()
+    dirs = [tree.root]
+    for i in range(size):
+        parent = rng.choice(dirs)
+        is_dir = rng.random() < 0.4
+        node = tree.add_child(parent, f"n{i}", is_directory=is_dir,
+                              individual_popularity=rng.random() * 5)
+        if is_dir:
+            dirs.append(node)
+    tree.aggregate_popularity()
+    return tree
+
+
+mutation_scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["rename", "move", "remove"]),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+def apply_mutations(tree: NamespaceTree, script, seed: int) -> int:
+    """Apply a mutation script, skipping structurally-invalid picks."""
+    rng = random.Random(seed)
+    applied = 0
+    counter = 0
+    for action, pick in script:
+        live = [n for n in tree if n.parent is not None]
+        if not live:
+            break
+        node = live[pick % len(live)]
+        counter += 1
+        try:
+            if action == "rename":
+                tree.rename(node, f"renamed{counter}")
+            elif action == "move":
+                dirs = [d for d in tree if d.is_directory]
+                target = dirs[rng.randrange(len(dirs))]
+                tree.move_node(node, target)
+            else:
+                tree.remove(node)
+            applied += 1
+        except ValueError:
+            continue  # invalid pick (cycle, collision, root) — skipped
+    return applied
+
+
+@given(st.integers(min_value=0, max_value=500), mutation_scripts)
+@settings(max_examples=40, deadline=None)
+def test_tree_stays_valid_under_mutations(seed, script):
+    tree = build_tree(seed, 40)
+    apply_mutations(tree, script, seed)
+    tree.validate()
+
+
+@given(st.integers(min_value=0, max_value=500), mutation_scripts)
+@settings(max_examples=40, deadline=None)
+def test_path_index_consistent_under_mutations(seed, script):
+    tree = build_tree(seed, 40)
+    apply_mutations(tree, script, seed)
+    for node in tree:
+        assert tree.lookup(node.path) is node
+
+
+@given(st.integers(min_value=0, max_value=500), mutation_scripts)
+@settings(max_examples=40, deadline=None)
+def test_popularity_conserved_under_rename_and_move(seed, script):
+    tree = build_tree(seed, 40)
+    # Drop removals: only renames and moves, which conserve total popularity.
+    conservative = [(a, p) for a, p in script if a != "remove"]
+    before = tree.total_popularity
+    apply_mutations(tree, conservative, seed)
+    tree.aggregate_popularity()
+    assert abs(tree.total_popularity - before) < 1e-6
+
+
+@given(st.integers(min_value=0, max_value=500), mutation_scripts)
+@settings(max_examples=40, deadline=None)
+def test_live_count_matches_iteration(seed, script):
+    tree = build_tree(seed, 40)
+    apply_mutations(tree, script, seed)
+    assert len(tree) == sum(1 for _ in tree)
+    assert len(tree.nodes) == len(tree)
+
+
+@given(st.integers(min_value=0, max_value=500), mutation_scripts)
+@settings(max_examples=40, deadline=None)
+def test_depths_consistent_after_moves(seed, script):
+    tree = build_tree(seed, 40)
+    apply_mutations(tree, script, seed)
+    for node in tree:
+        if node.parent is not None:
+            assert node.depth == node.parent.depth + 1

@@ -1,0 +1,91 @@
+"""Tests for trace (de)serialization."""
+
+import pytest
+
+from repro.traces import (
+    DatasetProfile,
+    OpType,
+    Trace,
+    TraceGenerator,
+    TraceRecord,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    save_trace,
+)
+
+
+def small_trace():
+    return Trace(
+        name="sample",
+        description="a small test trace",
+        records=[
+            TraceRecord(0.5, OpType.READ, "/a/b.txt", 1),
+            TraceRecord(1.25, OpType.UPDATE, "/a", 2),
+            TraceRecord(2.0, OpType.WRITE, "/c d/e.txt", 0),
+        ],
+    )
+
+
+def test_roundtrip_in_memory():
+    trace = small_trace()
+    parsed = loads_trace(dumps_trace(trace))
+    assert parsed.name == trace.name
+    assert parsed.description == trace.description
+    assert parsed.records == trace.records
+
+
+def test_roundtrip_via_file(tmp_path):
+    trace = small_trace()
+    path = tmp_path / "trace.tsv"
+    save_trace(trace, path)
+    parsed = load_trace(path)
+    assert parsed.records == trace.records
+
+
+def test_paths_with_spaces_survive():
+    parsed = loads_trace(dumps_trace(small_trace()))
+    assert parsed.records[2].path == "/c d/e.txt"
+
+
+def test_missing_header_rejected():
+    with pytest.raises(ValueError):
+        loads_trace("1.0\tread\t0\t/a\n")
+
+
+def test_malformed_line_rejected():
+    text = dumps_trace(small_trace()) + "not-enough-fields\n"
+    with pytest.raises(ValueError):
+        loads_trace(text)
+
+
+def test_malformed_header_rejected():
+    with pytest.raises(ValueError):
+        loads_trace("#trace\n")
+
+
+def test_blank_lines_skipped():
+    text = dumps_trace(small_trace()) + "\n\n"
+    parsed = loads_trace(text)
+    assert len(parsed) == 3
+
+
+def test_description_newlines_flattened():
+    trace = Trace(name="x", description="line1\nline2", records=[])
+    parsed = loads_trace(dumps_trace(trace))
+    assert "\n" not in parsed.description
+
+
+def test_generated_workload_roundtrip(tmp_path):
+    workload = TraceGenerator(DatasetProfile.ra(num_nodes=600, scale=5e-6)).generate()
+    path = tmp_path / "ra.tsv"
+    save_trace(workload.trace, path)
+    parsed = load_trace(path)
+    assert len(parsed) == len(workload.trace)
+    assert parsed.operation_breakdown() == workload.trace.operation_breakdown()
+
+
+def test_empty_trace_roundtrip():
+    trace = Trace(name="empty")
+    parsed = loads_trace(dumps_trace(trace))
+    assert parsed.records == []
