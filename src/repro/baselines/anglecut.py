@@ -19,7 +19,7 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.placement import MetadataScheme, Migration, Placement
+from repro.placement import DEAD_CAPACITY, MetadataScheme, Migration, Placement
 from repro.baselines.drop import preorder_keys
 from repro.core.namespace import NamespaceTree
 from repro.core.node import MetadataNode
@@ -55,7 +55,18 @@ class AngleCutPlacement(Placement):
         Chord-style placement AngleCut uses to spread correlated prefixes.
         """
         arc = bisect.bisect_right(self.ring_boundaries[ring], angle)
-        return (arc + ring) % self.num_servers
+        owner = (arc + ring) % self.num_servers
+        cap_floor = max(DEAD_CAPACITY, 1e-6 * max(self.capacities))
+        if self.capacities[owner] > cap_floor:
+            return owner
+        # The owner is failed (DEAD_CAPACITY sentinel): its arc — degenerate
+        # after a boundary re-fit, but still hit by boundary-tie angles —
+        # merges into the next live server's arc around the ring.
+        for step in range(1, self.num_servers):
+            candidate = (arc + step + ring) % self.num_servers
+            if self.capacities[candidate] > cap_floor:
+                return candidate
+        return owner
 
     def apply_boundaries(self) -> None:
         """Reassign every node according to the current arc boundaries."""

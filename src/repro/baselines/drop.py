@@ -19,7 +19,7 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Sequence
 
-from repro.placement import MetadataScheme, Migration, Placement
+from repro.placement import DEAD_CAPACITY, MetadataScheme, Migration, Placement
 from repro.core.namespace import NamespaceTree
 from repro.core.node import MetadataNode
 
@@ -101,7 +101,18 @@ class DropPlacement(Placement):
     def server_for_key(self, key: float) -> int:
         """Physical owner of ``key`` (virtual ranges round-robin to servers)."""
         virtual_range = bisect.bisect_right(self.boundaries, key)
-        return virtual_range % self.num_servers
+        owner = virtual_range % self.num_servers
+        cap_floor = max(DEAD_CAPACITY, 1e-6 * max(self.capacities))
+        if self.capacities[owner] > cap_floor:
+            return owner
+        # The owner is failed (DEAD_CAPACITY sentinel): its virtual range —
+        # degenerate after an HDLB re-fit, but still hit by boundary-tie
+        # keys — merges into the next live server's range.
+        for step in range(1, self.num_servers):
+            candidate = (virtual_range + step) % self.num_servers
+            if self.capacities[candidate] > cap_floor:
+                return candidate
+        return owner
 
     def apply_boundaries(self) -> None:
         """Reassign every node according to the current boundaries."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.placement import MetadataScheme, Migration, Placement
+from repro.placement import DEAD_CAPACITY, MetadataScheme, Migration, Placement
 from repro.baselines.hashing import stable_hash
 from repro.core.namespace import NamespaceTree
 from repro.core.node import MetadataNode
@@ -165,6 +165,14 @@ class DynamicSubtreeScheme(MetadataScheme):
         migrations: List[Migration] = []
         moved_popularity = 0.0
         total_cap = sum(placement.capacities)
+        # Failed servers sit at the DEAD_CAPACITY sentinel (see
+        # repro.cluster.failure): they hold no load, which would otherwise
+        # make them the "lightest" migration target.
+        cap_floor = max(DEAD_CAPACITY, 1e-6 * max(placement.capacities))
+        usable = [k for k in range(placement.num_servers)
+                  if placement.capacities[k] > cap_floor]
+        if len(usable) < 2:
+            return migrations
         for _ in range(self.max_migrations_per_round):
             zone_loads = placement.zone_loads(tree)
             server_loads = [0.0] * placement.num_servers
@@ -174,14 +182,14 @@ class DynamicSubtreeScheme(MetadataScheme):
             if mu <= 0:
                 break
             heavy = max(
-                range(placement.num_servers),
+                usable,
                 key=lambda k: server_loads[k] / placement.capacities[k],
             )
             heavy_rel = server_loads[heavy] / placement.capacities[heavy]
             if heavy_rel <= mu * (1 + self.imbalance_tolerance):
                 break
             light = min(
-                range(placement.num_servers),
+                usable,
                 key=lambda k: server_loads[k] / placement.capacities[k],
             )
             excess = server_loads[heavy] - mu * placement.capacities[heavy]

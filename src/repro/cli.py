@@ -79,6 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(sim)
     sim.add_argument("--servers", type=int, default=8)
     sim.add_argument("--scheme", choices=sorted(SCHEME_MAKERS), default=None)
+    sim.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                     help="inject a fault: kind:server@ops=N or "
+                          "kind:server@t=SEC, kind one of crash, recover, "
+                          "fail_slow (:xF for the slowdown factor), "
+                          "drop_heartbeats; repeatable "
+                          "(e.g. --fault crash:2@ops=1000)")
+    sim.add_argument("--max-retries", type=int, default=None,
+                     help="client retry budget before an op counts as failed")
+    sim.add_argument("--heartbeat-interval", type=float, default=None,
+                     help="liveness heartbeat cadence in simulated seconds "
+                          "(<= 0 disables failure detection)")
+    sim.add_argument("--heartbeat-timeout", type=float, default=None,
+                     help="heartbeat silence before the Monitor declares a "
+                          "server dead (simulated seconds)")
 
     fig = sub.add_parser("figure", help="regenerate a figure's data as CSV")
     fig.add_argument("name", choices=["fig5", "fig6", "fig7"],
@@ -136,10 +150,32 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    from repro.simulation import FaultPlan, SimulationConfig
+
     workload = _workload(args)
+    overrides = {}
+    if args.fault:
+        try:
+            overrides["fault_plan"] = FaultPlan.parse(args.fault)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.max_retries is not None:
+        overrides["max_retries"] = args.max_retries
+    if args.heartbeat_interval is not None:
+        overrides["heartbeat_interval"] = args.heartbeat_interval
+    if args.heartbeat_timeout is not None:
+        overrides["heartbeat_timeout"] = args.heartbeat_timeout
+    config = SimulationConfig(**overrides) if overrides else None
     for scheme in _schemes(args.scheme):
-        result = simulate(scheme, workload, args.servers)
+        try:
+            result = simulate(scheme, workload, args.servers, config)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         print(result.row())
+        if result.availability is not None and result.availability.impacted:
+            print(result.availability.describe())
     return 0
 
 

@@ -2,7 +2,7 @@
 
 from repro.cluster.cache import LRUCache, VersionedEntry
 from repro.cluster.client import SimClient
-from repro.cluster.failure import fail_server, surviving_capacities
+from repro.cluster.failure import fail_server, rejoin_server, surviving_capacities
 from repro.cluster.locks import LockManager
 from repro.cluster.mds import MetadataServer
 from repro.cluster.messages import Heartbeat, OperationOutcome, RoutePlan, Visit, VisitKind
@@ -21,5 +21,6 @@ __all__ = [
     "Visit",
     "VisitKind",
     "fail_server",
+    "rejoin_server",
     "surviving_capacities",
 ]

@@ -45,13 +45,17 @@ class MetadataServer:
         self.counter_decay = counter_decay
         self._counters: Dict[str, DecayingCounter] = {}
         self.alive = True
+        #: Fail-slow fault: every visit costs this multiple of service_time.
+        self.slow_factor = 1.0
+        #: Drop-heartbeats fault: the server serves but stops heartbeating.
+        self.muted = False
 
     # ------------------------------------------------------------------
     def process(self, arrival: float, work: float = 1.0) -> float:
         """Queue a request visit; returns its completion time."""
         if not self.alive:
             raise RuntimeError(f"server {self.server_id} is down")
-        return self.cpu.serve(arrival, work * self.service_time)
+        return self.cpu.serve(arrival, work * self.service_time * self.slow_factor)
 
     def record_access(self, path: str, now: float, weight: float = 1.0) -> None:
         """Bump the decaying access counter for ``path``."""
@@ -80,8 +84,10 @@ class MetadataServer:
         self.alive = False
 
     def recover(self) -> None:
-        """Bring the server back (empty, counters reset)."""
+        """Bring the server back (empty, counters reset, faults cleared)."""
         self.alive = True
+        self.slow_factor = 1.0
+        self.muted = False
         self._counters.clear()
 
     @property

@@ -11,7 +11,7 @@ hold possibly-stale copies) and decides when to trigger a rebalance round.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.placement import MetadataScheme, Migration, Placement
 from repro.cluster.messages import Heartbeat
@@ -21,7 +21,13 @@ __all__ = ["Monitor"]
 
 
 class Monitor:
-    """Heartbeat sink and rebalance coordinator."""
+    """Heartbeat sink and rebalance coordinator.
+
+    ``expected_servers`` registers cluster membership so a server that
+    *never* heartbeats is still detected once the grace period (one
+    heartbeat timeout from ``registered_at``) elapses; without registration
+    only servers heard from at least once can be declared dead.
+    """
 
     def __init__(
         self,
@@ -29,6 +35,8 @@ class Monitor:
         tree: NamespaceTree,
         placement: Placement,
         heartbeat_timeout: float = 30.0,
+        expected_servers: Optional[Iterable[int]] = None,
+        registered_at: float = 0.0,
     ) -> None:
         self.scheme = scheme
         self.tree = tree
@@ -36,26 +44,70 @@ class Monitor:
         self.heartbeat_timeout = heartbeat_timeout
         self._last_heartbeat: Dict[int, float] = {}
         self._latest_load: Dict[int, float] = {}
+        #: Membership roster: server -> registration time (detection grace).
+        self._registered_at: Dict[int, float] = {}
+        #: Failures already surfaced by detect_failures and acknowledged via
+        #: mark_dead — never re-reported until the server heartbeats again.
+        self._acknowledged_dead: Set[int] = set()
+        if expected_servers is not None:
+            for server in expected_servers:
+                self._registered_at[server] = registered_at
         self.rebalances = 0
         self.total_migrations = 0
 
     # ------------------------------------------------------------------
+    def expect(self, server: int, now: float = 0.0) -> None:
+        """Register a cluster member (a rejoin or a newly added MDS)."""
+        self._registered_at[server] = now
+
     def on_heartbeat(self, heartbeat: Heartbeat) -> None:
-        """Record an MDS's periodic load report."""
+        """Record an MDS's periodic load report.
+
+        A heartbeat from an acknowledged-dead server clears the death mark —
+        it rejoined and becomes detectable again.
+        """
         self._last_heartbeat[heartbeat.server] = heartbeat.time
         self._latest_load[heartbeat.server] = heartbeat.load
+        self._acknowledged_dead.discard(heartbeat.server)
 
     def last_seen(self, server: int) -> Optional[float]:
         """Last heartbeat time for ``server`` (None if never heard from)."""
         return self._last_heartbeat.get(server)
 
+    def mark_dead(self, server: int) -> None:
+        """Acknowledge a detected failure so it is surfaced exactly once."""
+        self._acknowledged_dead.add(server)
+
+    def mark_alive(self, server: int) -> None:
+        """Clear a death mark (the server rejoined the cluster)."""
+        self._acknowledged_dead.discard(server)
+
+    def is_dead(self, server: int) -> bool:
+        """True for servers whose failure has been acknowledged."""
+        return server in self._acknowledged_dead
+
     def detect_failures(self, now: float) -> List[int]:
-        """Servers whose heartbeats stopped for longer than the timeout."""
-        return [
+        """Servers newly suspected dead at time ``now``.
+
+        A server is suspected when its heartbeats stopped for longer than
+        the timeout, or when it is registered but has never heartbeated and
+        its grace period ran out. Failures already acknowledged through
+        :meth:`mark_dead` are not re-reported.
+        """
+        suspects = [
             server
             for server, seen in self._last_heartbeat.items()
-            if now - seen > self.heartbeat_timeout
+            if server not in self._acknowledged_dead
+            and now - seen > self.heartbeat_timeout
         ]
+        suspects.extend(
+            server
+            for server, registered in self._registered_at.items()
+            if server not in self._acknowledged_dead
+            and server not in self._last_heartbeat
+            and now - registered > self.heartbeat_timeout
+        )
+        return sorted(suspects)
 
     def reported_loads(self) -> Dict[int, float]:
         """Latest heartbeat-reported load per server."""

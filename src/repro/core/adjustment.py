@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.placement import DEAD_CAPACITY
 from repro.core.allocation import mirror_division
 from repro.core.node import MetadataNode
 
@@ -198,10 +199,11 @@ class DynamicAdjuster:
         # or an at-ideal server never claims.
         claimants = []
         deficits = []
-        # A server with negligible capacity relative to its peers is dead
-        # (see repro.cluster.failure) and never claims, no matter how large
-        # the ideal load factor makes its nominal deficit.
-        cap_floor = 1e-6 * max(capacities)
+        # A server at the DEAD_CAPACITY sentinel — or with negligible
+        # capacity relative to its peers — is dead (see
+        # repro.cluster.failure) and never claims, no matter how large the
+        # ideal load factor makes its nominal deficit.
+        cap_floor = max(DEAD_CAPACITY, 1e-6 * max(capacities))
         for server, cap in enumerate(capacities):
             deficit = mu * cap - loads[server]
             if cap > cap_floor and deficit > 0:

@@ -21,7 +21,16 @@ if TYPE_CHECKING:  # imported lazily to avoid a package-init cycle
     from repro.core.namespace import NamespaceTree
     from repro.core.node import MetadataNode
 
-__all__ = ["Placement", "MetadataScheme", "Migration"]
+__all__ = ["DEAD_CAPACITY", "Placement", "MetadataScheme", "Migration"]
+
+#: Capacity sentinel for a failed server. The single convention shared by
+#: every failure path (`repro.cluster.failure.fail_server`,
+#: `surviving_capacities`) and every capacity-driven policy (the adjuster's
+#: deficit math, mirror division, HDLB/AngleCut boundary shares): a server
+#: whose capacity is at or below this value is dead and can host nothing.
+#: It is positive — not 0.0 — so capacity-ratio math (``L_k / C_k`` in
+#: Eq. 2, deficit shares) stays well-defined without renumbering servers.
+DEAD_CAPACITY = 1e-12
 
 
 class Placement:

@@ -1,6 +1,7 @@
 """Discrete-event trace replay: the Section VI experiment harness."""
 
 from repro.simulation.engine import ClientPool, ResourceTimeline
+from repro.simulation.faults import FaultEvent, FaultKind, FaultPlan
 from repro.simulation.network import NetworkModel
 from repro.simulation.runner import (
     BalanceTrajectory,
@@ -9,12 +10,21 @@ from repro.simulation.runner import (
     replay_rounds,
     simulate,
 )
-from repro.simulation.stats import LatencySummary, SimulationResult, summarize_latencies
+from repro.simulation.stats import (
+    AvailabilityReport,
+    LatencySummary,
+    SimulationResult,
+    summarize_latencies,
+)
 
 __all__ = [
+    "AvailabilityReport",
     "BalanceTrajectory",
     "ClientPool",
     "ClusterSimulator",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
     "LatencySummary",
     "NetworkModel",
     "ResourceTimeline",

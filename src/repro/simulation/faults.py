@@ -1,0 +1,157 @@
+"""Declarative fault injection for trace replay (Sec. IV-A3 scenarios).
+
+A :class:`FaultPlan` is a schedule of :class:`FaultEvent`\\ s applied to the
+simulated cluster while a trace replays. Events trigger either after a number
+of completed operations (``at_ops``) or at a simulated time (``at_time``) —
+never from the wall clock, so a seed plus a plan is fully deterministic.
+
+Event kinds
+-----------
+``crash``
+    The server stops serving instantly. Its metadata stays assigned to it
+    until the Monitor misses enough heartbeats (failure *detection* is part
+    of the model); in that window clients time out and retry with capped
+    exponential backoff.
+``recover``
+    The server rejoins empty: capacity is restored, the global layer is
+    re-replicated onto it, and local-layer subtrees are pulled back
+    mirror-division style (also clears ``fail_slow`` / ``drop_heartbeats``).
+``fail_slow``
+    The server keeps serving but every request costs ``factor`` times the
+    normal service time (gray failure / degraded disk).
+``drop_heartbeats``
+    The server keeps serving but stops heartbeating — after the timeout the
+    Monitor evicts it anyway (a false-positive failover).
+
+The string form accepted by :meth:`FaultEvent.parse` (and the CLI's
+``--fault`` flag) is ``kind:server@ops=N`` or ``kind:server@t=SECONDS``,
+with an optional ``:xF`` service-time multiplier for ``fail_slow``::
+
+    crash:2@ops=1000
+    recover:2@t=4.5
+    fail_slow:1@ops=500:x8
+    drop_heartbeats:0@t=2.0
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """What happens to the targeted server when the event fires."""
+
+    CRASH = "crash"
+    RECOVER = "recover"
+    FAIL_SLOW = "fail_slow"
+    DROP_HEARTBEATS = "drop_heartbeats"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, triggered by op count or simulated time."""
+
+    kind: FaultKind
+    server: int
+    at_ops: Optional[int] = None
+    at_time: Optional[float] = None
+    #: ``fail_slow`` service-time multiplier (ignored by other kinds).
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.server < 0:
+            raise ValueError("server index must be non-negative")
+        if (self.at_ops is None) == (self.at_time is None):
+            raise ValueError("exactly one of at_ops / at_time must be set")
+        if self.at_ops is not None and self.at_ops < 0:
+            raise ValueError("at_ops must be non-negative")
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError("at_time must be non-negative")
+        if self.kind is FaultKind.FAIL_SLOW and self.factor < 1.0:
+            raise ValueError("fail_slow factor must be >= 1")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultEvent":
+        """Parse ``kind:server@ops=N|t=SEC[:xF]`` (see module docstring)."""
+        head, sep, trigger = spec.partition("@")
+        if not sep:
+            raise ValueError(f"fault spec {spec!r} missing '@trigger'")
+        kind_name, sep, server_text = head.partition(":")
+        if not sep:
+            raise ValueError(f"fault spec {spec!r} missing ':server'")
+        try:
+            kind = FaultKind(kind_name.strip())
+        except ValueError:
+            names = ", ".join(k.value for k in FaultKind)
+            raise ValueError(
+                f"unknown fault kind {kind_name!r} (expected one of: {names})"
+            ) from None
+        server = int(server_text)
+        factor = 4.0
+        trigger, sep, extra = trigger.partition(":")
+        if sep:
+            if not extra.startswith("x"):
+                raise ValueError(f"fault spec {spec!r}: extra must look like ':x4'")
+            factor = float(extra[1:])
+        key, sep, value = trigger.partition("=")
+        if not sep:
+            raise ValueError(f"fault spec {spec!r}: trigger must be ops=N or t=SEC")
+        key = key.strip()
+        if key == "ops":
+            return cls(kind, server, at_ops=int(value), factor=factor)
+        if key == "t":
+            return cls(kind, server, at_time=float(value), factor=factor)
+        raise ValueError(f"fault spec {spec!r}: trigger must be ops=N or t=SEC")
+
+
+class FaultPlan:
+    """An immutable, ordered schedule of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"expected FaultEvent, got {type(event).__name__}")
+
+    @classmethod
+    def parse(cls, specs: Sequence[str]) -> "FaultPlan":
+        """Build a plan from textual specs (the CLI's repeated ``--fault``)."""
+        return cls(FaultEvent.parse(spec) for spec in specs)
+
+    # ------------------------------------------------------------------
+    def by_ops(self) -> List[FaultEvent]:
+        """Op-count-triggered events, in firing order."""
+        return sorted(
+            (e for e in self.events if e.at_ops is not None),
+            key=lambda e: e.at_ops,
+        )
+
+    def by_time(self) -> List[FaultEvent]:
+        """Time-triggered events, in firing order."""
+        return sorted(
+            (e for e in self.events if e.at_time is not None),
+            key=lambda e: e.at_time,
+        )
+
+    def servers(self) -> List[int]:
+        """All servers any event targets."""
+        return sorted({e.server for e in self.events})
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({list(self.events)!r})"

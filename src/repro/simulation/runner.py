@@ -17,7 +17,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.placement import MetadataScheme, Placement
+from repro.baselines.hashing import stable_hash
 from repro.cluster.client import SimClient
+from repro.cluster.failure import fail_server, rejoin_server
 from repro.cluster.locks import LockManager
 from repro.cluster.mds import MetadataServer
 from repro.cluster.messages import Heartbeat, RoutePlan, Visit, VisitKind
@@ -25,8 +27,13 @@ from repro.cluster.monitor import Monitor
 from repro.core.namespace import NamespaceTree
 from repro.core.partition import D2TreePlacement
 from repro.metrics.balance import balance_degree
+from repro.simulation.faults import FaultEvent, FaultKind, FaultPlan
 from repro.simulation.network import NetworkModel
-from repro.simulation.stats import SimulationResult, summarize_latencies
+from repro.simulation.stats import (
+    AvailabilityReport,
+    SimulationResult,
+    summarize_latencies,
+)
 from repro.traces.generator import GeneratedWorkload
 from repro.traces.trace import OpType, Trace
 
@@ -54,11 +61,26 @@ class SimulationConfig:
     migration_work: float = 0.05     # relative CPU per metadata node moved
     index_cache_size: int = 512
     prefix_cache_size: int = 256
-    #: Mid-replay failure injection: ((completed_ops, server), ...). At each
-    #: trigger the server crashes, the Monitor re-homes its metadata, and
-    #: in-flight requests fail over after ``failover_latency``.
+    #: Declarative fault schedule (crash / recover / fail_slow /
+    #: drop_heartbeats events; see repro.simulation.faults). Crashed servers
+    #: keep their metadata until the Monitor misses enough heartbeats.
+    fault_plan: Optional[FaultPlan] = None
+    #: Legacy crash shorthand: ((completed_ops, server), ...) — folded into
+    #: the fault plan as crash events.
     failures: tuple = ()
+    #: Client-side timeout before a request to a dead server is retried.
     failover_latency: float = 5e-3
+    #: Retry budget per operation; an op that exhausts it counts as *failed*.
+    max_retries: int = 16
+    #: Capped exponential backoff between retries: attempt k waits
+    #: ``min(cap, base * 2**(k-1))`` on top of the failover timeout.
+    retry_backoff_base: float = 2e-3
+    retry_backoff_cap: float = 0.1
+    #: Liveness heartbeat cadence (simulated seconds; <= 0 disables the
+    #: detection loop entirely — crashed servers are then never evicted).
+    heartbeat_interval: float = 0.05
+    #: Monitor declares a server dead after this much heartbeat silence.
+    heartbeat_timeout: float = 0.15
     seed: int = 7
 
 
@@ -96,7 +118,13 @@ class ClusterSimulator:
             )
             for cid in range(self.config.num_clients)
         ]
-        self.monitor = Monitor(scheme, self.tree, self.placement)
+        self.monitor = Monitor(
+            scheme,
+            self.tree,
+            self.placement,
+            heartbeat_timeout=self.config.heartbeat_timeout,
+            expected_servers=range(num_servers),
+        )
         self.created = 0
         # Late-created nodes (OpType.CREATE extension) do not exist at
         # partition time: their assignments are forgotten and each scheme
@@ -107,6 +135,12 @@ class ClusterSimulator:
                 if not self.placement.is_replicated(node):
                     self.placement.forget(node)
         self.migrations = 0
+        self.availability = AvailabilityReport()
+        #: server -> sim time it crashed (cleared when it rejoins).
+        self._crashed_at: Dict[int, float] = {}
+        #: server -> sim time it stopped heartbeating (drop_heartbeats).
+        self._muted_at: Dict[int, float] = {}
+        self._initial_capacities = list(self.placement.capacities)
         self._window_counts: Dict[str, float] = {}
         # Snapshot popularity so a run never leaks adjusted estimates into
         # the shared workload (simulations must be independent).
@@ -198,12 +232,16 @@ class ClusterSimulator:
             )
         self.tree.aggregate_popularity()
         self._window_counts.clear()
-        # Heartbeats (Sec. IV-B): every MDS reports its decayed load level
-        # and relative capacity to the Monitor, which runs the adjustment.
+        # Heartbeats (Sec. IV-B): every live MDS reports its decayed load
+        # level and relative capacity to the Monitor, which runs the
+        # adjustment. Dead and heartbeat-muted servers stay silent — their
+        # absence is what failure detection keys off.
         loads = self.placement.loads()
         total_cap = sum(self.placement.capacities)
         mu = sum(loads) / total_cap if total_cap > 0 else 0.0
         for server in self.servers:
+            if not server.alive or server.muted:
+                continue
             load = server.load_report(now)
             relative = loads[server.server_id] - mu * self.placement.capacities[
                 server.server_id
@@ -213,26 +251,104 @@ class ClusterSimulator:
             )
         moves = self.monitor.rebalance()
         self.migrations += len(moves)
-        # Migration is not free: source and target servers spend CPU on every
-        # moved metadata node (the thrashing/rehashing overhead the paper
-        # charges against dynamic and hash-based schemes).
+        self._charge_migrations(moves)
+
+    def _charge_migrations(self, moves) -> None:
+        """Book migration CPU on both ends of every move.
+
+        Migration is not free: source and target servers spend CPU on every
+        moved metadata node (the thrashing/rehashing overhead the paper
+        charges against dynamic and hash-based schemes). Dead servers do no
+        work — a failure re-home only costs the receiving side.
+        """
         work = self.config.migration_work
-        if work > 0:
-            for move in moves:
-                nodes_moved = self._migration_size(move)
-                cost = work * nodes_moved * self.config.service_time
+        if work <= 0:
+            return
+        for move in moves:
+            cost = work * self._migration_size(move) * self.config.service_time
+            if self.servers[move.source].alive:
                 self.servers[move.source].cpu.serve_background(cost)
+            if self.servers[move.target].alive:
                 self.servers[move.target].cpu.serve_background(cost)
 
-    def _crash_server(self, dead: int) -> None:
-        """Kill a server mid-replay and re-home its metadata (Sec. IV-A3)."""
-        from repro.cluster.failure import fail_server
+    # ------------------------------------------------------------------
+    # Fault injection (Sec. IV-A3: failure detection and recovery)
+    # ------------------------------------------------------------------
+    def _fire_fault(self, event: FaultEvent, now: float) -> None:
+        """Apply one scheduled fault event at sim time ``now``."""
+        server = self.servers[event.server]
+        if event.kind is FaultKind.CRASH:
+            if server.alive:
+                server.fail()
+                self._crashed_at[event.server] = now
+                self.availability.crashes += 1
+        elif event.kind is FaultKind.RECOVER:
+            self._recover_server(event.server, now)
+        elif event.kind is FaultKind.FAIL_SLOW:
+            server.slow_factor = event.factor
+        elif event.kind is FaultKind.DROP_HEARTBEATS:
+            if not server.muted:
+                server.muted = True
+                self._muted_at[event.server] = now
 
-        if not self.servers[dead].alive:
-            return
-        self.servers[dead].fail()
+    def _heartbeat_round(self, now: float) -> None:
+        """Liveness heartbeats plus failure detection.
+
+        Liveness beats carry the served-visit count as a cheap load proxy;
+        the full decayed-load reports ride the adjustment-cadence heartbeats
+        in :meth:`_adjust`. Detection runs after the beats so a server that
+        rejoined this round is never re-declared dead.
+        """
+        for server in self.servers:
+            if server.alive and not server.muted:
+                self.monitor.on_heartbeat(
+                    Heartbeat(server.server_id, now, float(server.served), 0.0)
+                )
+        for dead in self.monitor.detect_failures(now):
+            self.monitor.mark_dead(dead)
+            self._rehome_failed(dead, now)
+
+    def _rehome_failed(self, dead: int, now: float) -> None:
+        """Detection fired: re-home the lost metadata (Sec. IV-A3)."""
+        server = self.servers[dead]
+        if server.alive:
+            # False positive — a live server went silent (drop_heartbeats);
+            # the Monitor evicts it all the same and survivors take over.
+            self.availability.false_detections += 1
+            since = self._muted_at.get(dead, now)
+        else:
+            since = self._crashed_at.get(dead, now)
+            self.availability.unavailability += now - since
+        self.availability.detection_latency[dead] = now - since
         moves = fail_server(self.placement, dead)
         self.migrations += len(moves)
+        self._charge_migrations(moves)
+
+    def _recover_server(self, sid: int, now: float) -> None:
+        """Rejoin path: restore capacity and pull subtrees back."""
+        server = self.servers[sid]
+        was_crashed = not server.alive
+        if was_crashed:
+            server.recover()
+        else:
+            server.slow_factor = 1.0
+            server.muted = False
+        self._muted_at.pop(sid, None)
+        self.monitor.mark_alive(sid)
+        self.monitor.expect(sid, now)
+        live = [s.server_id for s in self.servers if s.alive]
+        moves = rejoin_server(
+            self.placement, sid,
+            capacity=self._initial_capacities[sid],
+            live=live,
+        )
+        self.migrations += len(moves)
+        self._charge_migrations(moves)
+        self.availability.rejoins += 1
+        if was_crashed and sid in self._crashed_at:
+            self.availability.time_to_recover[sid] = (
+                now - self._crashed_at.pop(sid)
+            )
 
     def _migration_size(self, move) -> int:
         """Metadata nodes transferred by one migration."""
@@ -301,6 +417,19 @@ class ClusterSimulator:
                     server = self.scheme.place_created(
                         self.tree, self.placement, node
                     )
+                    if self.monitor.is_dead(server):
+                        # The cluster already evicted that server; a real
+                        # client is routed by the authoritative map and
+                        # never creates at an acknowledged-dead MDS.
+                        live = [s.server_id for s in self.servers if s.alive]
+                        if live:
+                            server = live[stable_hash(record.path) % len(live)]
+                            zones = getattr(self.placement, "zone_of", None)
+                            if zones is not None and node in zones:
+                                # Keep the zone map consistent, or a later
+                                # rebuild would resurrect the dead owner.
+                                zones[node] = server
+                            self.placement.assign(node, server)
                     self.created += 1
                     plan = RoutePlan(visits=[Visit(server, VisitKind.SERVE)])
                 else:
@@ -326,24 +455,76 @@ class ClusterSimulator:
             if not dispatch(client, 0.0):
                 break
 
-        pending_failures = sorted(cfg.failures)
-        failure_cursor = 0
+        # Fault schedule: the declarative plan plus the legacy crash tuples,
+        # split into op-count-triggered and time-triggered queues.
+        fault_events = list(cfg.fault_plan) if cfg.fault_plan else []
+        for at_ops, dead in cfg.failures:
+            fault_events.append(
+                FaultEvent(FaultKind.CRASH, dead, at_ops=int(at_ops))
+            )
+        plan_all = FaultPlan(fault_events)
+        for event in plan_all:
+            if event.server >= self.num_servers:
+                raise ValueError(
+                    f"fault targets server {event.server} but the cluster "
+                    f"only has servers 0..{self.num_servers - 1}"
+                )
+        ops_faults = plan_all.by_ops()
+        time_faults = plan_all.by_time()
+        ops_cursor = 0
+        time_cursor = 0
+        infinity = float("inf")
+        next_heartbeat = (
+            cfg.heartbeat_interval if cfg.heartbeat_interval > 0 else infinity
+        )
 
         while events:
             now, _tick, op = heapq.heappop(events)
+            # Heartbeat rounds and time-triggered faults due before ``now``
+            # fire first, in chronological order (deterministic: both grids
+            # derive from sim time, never the wall clock).
+            while True:
+                fault_at = (
+                    time_faults[time_cursor].at_time
+                    if time_cursor < len(time_faults)
+                    else infinity
+                )
+                if next_heartbeat > now and fault_at > now:
+                    break
+                if next_heartbeat <= fault_at:
+                    self._heartbeat_round(next_heartbeat)
+                    next_heartbeat += cfg.heartbeat_interval
+                else:
+                    self._fire_fault(time_faults[time_cursor], fault_at)
+                    time_cursor += 1
             plan: RoutePlan = op["plan"]
             visit = plan.visits[op["visit"]]
             server = self.servers[visit.server]
             if not server.alive:
-                # The target crashed while this request was in flight: the
-                # client times out and retries against the repaired
-                # placement.
+                # The target crashed: the client times out, backs off, and
+                # retries against the placement — which still routes to the
+                # dead server until the Monitor detects the failure and
+                # re-homes its metadata (the degraded window).
+                attempts = op.get("attempts", 0) + 1
+                op["attempts"] = attempts
+                if attempts > cfg.max_retries:
+                    # Retry budget exhausted: the operation *fails* instead
+                    # of looping forever; the client moves on.
+                    self.availability.failed_operations += 1
+                    dispatch(op["client"], now + cfg.failover_latency)
+                    continue
+                self.availability.retries += 1
+                backoff = min(
+                    cfg.retry_backoff_cap,
+                    cfg.retry_backoff_base * (2 ** (attempts - 1)),
+                )
                 node = self.tree.lookup(op["path"])
                 fresh = self.plan_route(op["client"], node, op["op"])
                 op["plan"] = fresh
                 op["visit"] = 0
                 heapq.heappush(
-                    events, (now + cfg.failover_latency, next(seq), op)
+                    events,
+                    (now + cfg.failover_latency + backoff, next(seq), op),
                 )
                 continue
             end = server.process(now)
@@ -375,15 +556,20 @@ class ClusterSimulator:
             )
             completed += 1
             while (
-                failure_cursor < len(pending_failures)
-                and completed >= pending_failures[failure_cursor][0]
+                ops_cursor < len(ops_faults)
+                and completed >= ops_faults[ops_cursor].at_ops
             ):
-                _at, dead = pending_failures[failure_cursor]
-                failure_cursor += 1
-                self._crash_server(dead)
+                self._fire_fault(ops_faults[ops_cursor], completion)
+                ops_cursor += 1
             if cfg.adjust_every_ops and completed % cfg.adjust_every_ops == 0:
                 self._adjust(now=completion)
             dispatch(client, completion)
+
+        # Crashes the Monitor never got to detect (detection disabled, or the
+        # trace drained first) were unavailable until the end of the run.
+        for sid, since in self._crashed_at.items():
+            if sid not in self.availability.detection_latency:
+                self.availability.unavailability += max(0.0, makespan - since)
 
         operations = len(latencies)
         return SimulationResult(
@@ -402,6 +588,7 @@ class ClusterSimulator:
             migrations=self.migrations,
             lock_waits=self.locks.total_wait,
             jumps_total=jumps_total,
+            availability=self.availability,
         )
 
 

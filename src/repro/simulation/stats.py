@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["LatencySummary", "summarize_latencies", "SimulationResult"]
+__all__ = [
+    "LatencySummary",
+    "summarize_latencies",
+    "AvailabilityReport",
+    "SimulationResult",
+]
 
 
 @dataclass(frozen=True)
@@ -43,6 +48,72 @@ def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
 
 
 @dataclass
+class AvailabilityReport:
+    """Failure/recovery accounting for one replay.
+
+    All zeroes for a fault-free run. Times are simulated seconds;
+    per-server dicts keep the *latest* value when a server fails twice.
+    """
+
+    #: Crash events that actually took a live server down.
+    crashes: int = 0
+    #: Recover events that rejoined a server.
+    rejoins: int = 0
+    #: Detections of servers that were alive but silent (drop_heartbeats).
+    false_detections: int = 0
+    #: Operations abandoned after exhausting the retry budget.
+    failed_operations: int = 0
+    #: Client retries caused by timing out against a dead server.
+    retries: int = 0
+    #: server -> seconds between losing the server and the Monitor evicting it.
+    detection_latency: Dict[int, float] = field(default_factory=dict)
+    #: server -> seconds between the crash and the rejoin completing.
+    time_to_recover: Dict[int, float] = field(default_factory=dict)
+    #: Total seconds during which some crashed server's metadata had no
+    #: live home (sum of crash→detection windows; undetected crashes count
+    #: up to the end of the replay).
+    unavailability: float = 0.0
+
+    @property
+    def impacted(self) -> bool:
+        """True when any fault actually touched the replay."""
+        return bool(
+            self.crashes
+            or self.rejoins
+            or self.false_detections
+            or self.failed_operations
+            or self.retries
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable availability report."""
+        lines = [
+            f"crashes={self.crashes} rejoins={self.rejoins} "
+            f"false_detections={self.false_detections}",
+            f"failed operations : {self.failed_operations}",
+            f"retries           : {self.retries}",
+            f"unavailability    : {self.unavailability * 1e3:.2f} ms",
+        ]
+        if self.detection_latency:
+            lines.append(
+                "detection latency : "
+                + "  ".join(
+                    f"s{server}={latency * 1e3:.2f}ms"
+                    for server, latency in sorted(self.detection_latency.items())
+                )
+            )
+        if self.time_to_recover:
+            lines.append(
+                "time to recover   : "
+                + "  ".join(
+                    f"s{server}={ttr * 1e3:.2f}ms"
+                    for server, ttr in sorted(self.time_to_recover.items())
+                )
+            )
+        return "\n".join(lines)
+
+
+@dataclass
 class SimulationResult:
     """Outcome of one trace replay against a simulated cluster."""
 
@@ -59,18 +130,35 @@ class SimulationResult:
     migrations: int = 0
     lock_waits: float = 0.0
     jumps_total: int = 0
+    availability: Optional[AvailabilityReport] = None
 
     @property
     def mean_jumps(self) -> float:
         """Average inter-server transfers per operation."""
         return self.jumps_total / self.operations if self.operations else 0.0
 
+    @property
+    def failed_operations(self) -> int:
+        """Operations dropped after retry exhaustion (0 when fault-free)."""
+        return self.availability.failed_operations if self.availability else 0
+
+    @property
+    def retries(self) -> int:
+        """Client retries against crashed servers (0 when fault-free)."""
+        return self.availability.retries if self.availability else 0
+
     def row(self) -> str:
         """One formatted results row (Fig. 5 style)."""
-        return (
+        row = (
             f"{self.scheme:<18} {self.trace:<5} M={self.num_servers:<3}"
             f" thr={self.throughput:9.1f} ops/s"
             f" p95={self.latency.p95 * 1e3:7.2f} ms"
             f" jumps/op={self.mean_jumps:5.2f}"
             f" redirects={self.redirects}"
         )
+        if self.availability is not None and self.availability.impacted:
+            row += (
+                f" retries={self.availability.retries}"
+                f" failed={self.availability.failed_operations}"
+            )
+        return row

@@ -5,6 +5,7 @@ import pytest
 from repro.baselines import DropScheme, HashScheme, StaticSubtreeScheme
 from repro.cluster import fail_server, surviving_capacities
 from repro.core import D2TreeScheme
+from repro.placement import DEAD_CAPACITY
 from tests.conftest import build_random_tree
 
 
@@ -13,11 +14,14 @@ def tree():
     return build_random_tree(400, seed=13)
 
 
-def test_surviving_capacities_zeroes_dead(tree):
+def test_surviving_capacities_marks_dead_with_sentinel(tree):
     placement = D2TreeScheme(global_layer_fraction=0.05).partition(tree, 4)
     caps = surviving_capacities(placement, dead=2)
-    assert caps[2] == 0.0
-    assert all(c > 0 for i, c in enumerate(caps) if i != 2)
+    assert caps[2] == DEAD_CAPACITY
+    assert all(c > DEAD_CAPACITY for i, c in enumerate(caps) if i != 2)
+    # fail_server marks the placement itself with the same sentinel.
+    fail_server(placement, dead=2)
+    assert placement.capacities[2] == DEAD_CAPACITY
 
 
 def test_d2_failure_rehomes_everything(tree):
