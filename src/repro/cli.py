@@ -7,11 +7,19 @@ evaluate   partition a generated workload and print the paper metrics
 simulate   replay a workload through the cluster simulator (Fig. 5 style)
 figure     regenerate one figure's data series (CSV, or --chart for ASCII)
 stats      characterise a trace (mix, depth, skew, drift)
+report     render a telemetry JSONL file as an ASCII dashboard
+
+``generate``/``evaluate``/``simulate``/``figure`` accept ``--seed`` to
+override the profile's generator seed; ``evaluate``/``simulate`` accept
+``--json`` for machine-readable output, and ``simulate --metrics-out``
+records the full telemetry stream (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -60,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="namespace tree size (default 8000)")
         p.add_argument("--scale", type=float, default=1e-4,
                        help="fraction of the paper's record count (default 1e-4)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the profile's generator seed "
+                            "(recorded in telemetry output)")
 
     gen = sub.add_parser("generate", help="synthesise a trace and save it")
     add_workload_args(gen)
@@ -74,6 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--scheme", choices=sorted(SCHEME_MAKERS), default=None,
                     help="one scheme (default: all)")
     ev.add_argument("--rebalance-rounds", type=int, default=0)
+    ev.add_argument("--json", action="store_true",
+                    help="emit a JSON array of full metric reports instead "
+                         "of formatted rows")
 
     sim = sub.add_parser("simulate", help="replay through the cluster simulator")
     add_workload_args(sim)
@@ -93,6 +107,19 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--heartbeat-timeout", type=float, default=None,
                      help="heartbeat silence before the Monitor declares a "
                           "server dead (simulated seconds)")
+    sim.add_argument("--json", action="store_true",
+                     help="emit a JSON array of full SimulationResult "
+                          "serializations instead of formatted rows")
+    sim.add_argument("--metrics-out", metavar="FILE", default=None,
+                     help="record telemetry (sim-time gauge series + trace "
+                          "events + run summary) to FILE as JSONL; "
+                          "multi-scheme runs append, one header per run")
+    sim.add_argument("--metrics-prom", metavar="FILE", default=None,
+                     help="write an end-of-run Prometheus text-format "
+                          "metrics snapshot to FILE")
+    sim.add_argument("--no-op-events", action="store_true",
+                     help="with --metrics-out: skip per-operation lifecycle "
+                          "events (keep cluster events and gauge series)")
 
     fig = sub.add_parser("figure", help="regenerate a figure's data as CSV")
     fig.add_argument("name", choices=["fig5", "fig6", "fig7"],
@@ -108,6 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
                            help="analyse a saved trace file instead of "
                                 "generating one")
     add_workload_args(stats)
+
+    rep = sub.add_parser("report",
+                         help="render a telemetry JSONL file (simulate "
+                              "--metrics-out) as an ASCII dashboard")
+    rep.add_argument("input", help="telemetry JSONL file")
+    rep.add_argument("--width", type=int, default=48,
+                     help="sparkline width in characters (default 48)")
+    rep.add_argument("--events", type=int, default=20,
+                     help="timeline rows per run (default 20)")
+    rep.add_argument("--csv", metavar="PREFIX", default=None,
+                     help="also export PREFIX.samples.csv and "
+                          "PREFIX.events.csv")
     return parser
 
 
@@ -117,13 +156,19 @@ def _schemes(choice: Optional[str]) -> List[MetadataScheme]:
     return [maker() for maker in SCHEME_MAKERS.values()]
 
 
-def _workload(args):
+def _profile(args):
     profile = PROFILE_MAKERS[args.trace](num_nodes=args.nodes, scale=args.scale)
-    return load_workload(profile)
+    if getattr(args, "seed", None) is not None:
+        profile = dataclasses.replace(profile, seed=args.seed)
+    return profile
+
+
+def _workload(args):
+    return load_workload(_profile(args))
 
 
 def cmd_generate(args) -> int:
-    profile = PROFILE_MAKERS[args.trace](num_nodes=args.nodes, scale=args.scale)
+    profile = _profile(args)
     workload = TraceGenerator(profile).generate()
     if args.bundle:
         from repro.traces import save_workload
@@ -140,12 +185,18 @@ def cmd_generate(args) -> int:
 
 def cmd_evaluate(args) -> int:
     workload = _workload(args)
+    reports = []
     for scheme in _schemes(args.scheme):
         report = evaluate_scheme(
             scheme, workload.tree, args.servers,
             rebalance_rounds=args.rebalance_rounds,
         )
-        print(report.row())
+        if args.json:
+            reports.append(report.to_dict())
+        else:
+            print(report.row())
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
     return 0
 
 
@@ -166,16 +217,47 @@ def cmd_simulate(args) -> int:
         overrides["heartbeat_interval"] = args.heartbeat_interval
     if args.heartbeat_timeout is not None:
         overrides["heartbeat_timeout"] = args.heartbeat_timeout
+    if args.seed is not None:
+        overrides["seed"] = args.seed
     config = SimulationConfig(**overrides) if overrides else None
-    for scheme in _schemes(args.scheme):
+    want_telemetry = bool(args.metrics_out or args.metrics_prom)
+    results_json: List[dict] = []
+    for index, scheme in enumerate(_schemes(args.scheme)):
+        telemetry = None
+        if want_telemetry:
+            from repro.obs import Telemetry
+
+            telemetry = Telemetry(record_ops=not args.no_op_events)
         try:
-            result = simulate(scheme, workload, args.servers, config)
+            result = simulate(
+                scheme, workload, args.servers, config, telemetry=telemetry
+            )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        print(result.row())
-        if result.availability is not None and result.availability.impacted:
-            print(result.availability.describe())
+        if args.metrics_out:
+            from repro.obs import write_jsonl
+
+            count = write_jsonl(
+                telemetry, args.metrics_out,
+                summary=result.to_dict(), append=index > 0,
+            )
+            print(f"wrote {count} telemetry records to {args.metrics_out}",
+                  file=sys.stderr)
+        if args.metrics_prom:
+            from repro.obs import prometheus_text
+
+            mode = "a" if index > 0 else "w"
+            with open(args.metrics_prom, mode, encoding="utf-8") as handle:
+                handle.write(prometheus_text(telemetry.registry))
+        if args.json:
+            results_json.append(result.to_dict())
+        else:
+            print(result.row())
+            if result.availability is not None and result.availability.impacted:
+                print(result.availability.describe())
+    if args.json:
+        print(json.dumps(results_json, indent=2, sort_keys=True))
     return 0
 
 
@@ -232,12 +314,44 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro.obs import (
+        events_to_csv,
+        read_jsonl,
+        render_dashboard,
+        samples_to_csv,
+        split_runs,
+    )
+
+    try:
+        records = read_jsonl(args.input)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: {args.input} holds no telemetry records", file=sys.stderr)
+        return 2
+    runs = split_runs(records)
+    for index, run in enumerate(runs):
+        if index:
+            print()
+        print(render_dashboard(run, width=args.width, max_timeline=args.events))
+    if args.csv:
+        samples_path = f"{args.csv}.samples.csv"
+        events_path = f"{args.csv}.events.csv"
+        samples_to_csv(records, samples_path)
+        events_to_csv(records, events_path)
+        print(f"wrote {samples_path} and {events_path}", file=sys.stderr)
+    return 0
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "evaluate": cmd_evaluate,
     "simulate": cmd_simulate,
     "figure": cmd_figure,
     "stats": cmd_stats,
+    "report": cmd_report,
 }
 
 

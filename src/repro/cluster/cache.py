@@ -10,7 +10,7 @@ consistency and reliability of server/client cache".
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Hashable, Optional, Tuple, TypeVar
+from typing import Generic, Hashable, Iterable, Optional, Tuple, TypeVar
 
 __all__ = ["LRUCache", "VersionedEntry"]
 
@@ -92,3 +92,17 @@ class LRUCache(Generic[K, V]):
     def stats(self) -> Tuple[int, int]:
         """(hits, misses) counters."""
         return self.hits, self.misses
+
+    @staticmethod
+    def merged_hit_rate(caches: "Iterable[LRUCache]") -> float:
+        """Aggregate hit rate over a fleet of caches (telemetry gauge).
+
+        Sums hits and misses across e.g. every client's index cache; 0.0
+        before any lookup happened.
+        """
+        hits = misses = 0
+        for cache in caches:
+            hits += cache.hits
+            misses += cache.misses
+        total = hits + misses
+        return hits / total if total else 0.0

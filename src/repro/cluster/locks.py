@@ -27,6 +27,22 @@ class LockManager:
         self._locks: Dict[Hashable, ResourceTimeline] = {}
         self.acquisitions = 0
         self.total_wait = 0.0
+        #: Telemetry hooks (wired by :meth:`bind_telemetry`; None = off).
+        self._wait_histogram = None
+        self._acquire_counter = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a :class:`repro.obs.Telemetry` to record lock contention."""
+        if not telemetry.enabled:
+            return
+        self._wait_histogram = telemetry.registry.histogram(
+            "lock_wait_seconds",
+            help="Queueing delay per global-layer lock acquisition",
+        )
+        self._acquire_counter = telemetry.registry.counter(
+            "lock_acquisitions",
+            help="Global-layer lock acquisitions",
+        )
 
     def acquire(self, key: Hashable, now: float, hold_for: float) -> float:
         """Acquire ``key`` at ``now``, holding it ``hold_for`` seconds.
@@ -46,6 +62,9 @@ class LockManager:
         granted = release - hold_for
         self.acquisitions += 1
         self.total_wait += granted - request
+        if self._wait_histogram is not None:
+            self._wait_histogram.observe(granted - request)
+            self._acquire_counter.inc()
         return granted
 
     def contention(self) -> float:

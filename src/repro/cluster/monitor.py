@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.placement import MetadataScheme, Migration, Placement
 from repro.cluster.messages import Heartbeat
 from repro.core.namespace import NamespaceTree
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Monitor"]
 
@@ -37,11 +38,13 @@ class Monitor:
         heartbeat_timeout: float = 30.0,
         expected_servers: Optional[Iterable[int]] = None,
         registered_at: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.scheme = scheme
         self.tree = tree
         self.placement = placement
         self.heartbeat_timeout = heartbeat_timeout
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._last_heartbeat: Dict[int, float] = {}
         self._latest_load: Dict[int, float] = {}
         #: Membership roster: server -> registration time (detection grace).
@@ -77,9 +80,12 @@ class Monitor:
     def mark_dead(self, server: int) -> None:
         """Acknowledge a detected failure so it is surfaced exactly once."""
         self._acknowledged_dead.add(server)
+        self.telemetry.event("monitor_mark_dead", server=server)
 
     def mark_alive(self, server: int) -> None:
         """Clear a death mark (the server rejoined the cluster)."""
+        if server in self._acknowledged_dead:
+            self.telemetry.event("monitor_mark_alive", server=server)
         self._acknowledged_dead.discard(server)
 
     def is_dead(self, server: int) -> bool:
@@ -107,7 +113,13 @@ class Monitor:
             and server not in self._last_heartbeat
             and now - registered > self.heartbeat_timeout
         )
-        return sorted(suspects)
+        suspects = sorted(suspects)
+        if suspects:
+            self.telemetry.event(
+                "detect_failures", t=now, servers=suspects,
+                timeout=self.heartbeat_timeout,
+            )
+        return suspects
 
     def reported_loads(self) -> Dict[int, float]:
         """Latest heartbeat-reported load per server."""

@@ -135,6 +135,10 @@ class DynamicAdjuster:
         if imbalance_tolerance < 0:
             raise ValueError("imbalance_tolerance must be non-negative")
         self.imbalance_tolerance = imbalance_tolerance
+        #: Optional :class:`repro.obs.Telemetry` (wired by the simulator);
+        #: when set, every round reports the pending-pool depth and an
+        #: ``adjust_detail`` trace event stamped with the telemetry clock.
+        self.telemetry = None
 
     def adjust(
         self,
@@ -158,6 +162,7 @@ class DynamicAdjuster:
         mu = sum(loads) / total_cap
         report.ideal_load_factor = mu
         if mu == 0:
+            self._observe(report)
             return report
 
         loads = list(loads)
@@ -191,6 +196,7 @@ class DynamicAdjuster:
                 offered_any = True
         report.offered = len(pool)
         if len(pool) == 0:
+            self._observe(report)
             return report
 
         # Claim phase: light servers absorb the pool proportionally to their
@@ -212,6 +218,7 @@ class DynamicAdjuster:
         entries = pool.take_all()
         if not claimants:
             # Nobody is light; subtrees stay with their sources.
+            self._observe(report)
             return report
         allocation = mirror_division([e.popularity for e in entries], deficits)
         for entry, claimed in zip(entries, allocation.assignment):
@@ -219,7 +226,25 @@ class DynamicAdjuster:
             if target != entry.source_server:
                 subtree_owner[entry.subtree_root] = target
                 report.migrations.append((entry.subtree_root, entry.source_server, target))
+        self._observe(report)
         return report
+
+    def _observe(self, report: AdjustmentReport) -> None:
+        """Publish one round's outcome to the attached telemetry (if any)."""
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        telemetry.registry.gauge(
+            "pending_pool_depth",
+            help="Subtrees parked in the pending pool this adjustment round",
+        ).set(report.offered)
+        telemetry.event(
+            "adjust_detail",
+            mu=report.ideal_load_factor,
+            offered=report.offered,
+            migrations=len(report.migrations),
+            moved_popularity=report.moved_popularity,
+        )
 
     def adjust_global_layer(
         self,

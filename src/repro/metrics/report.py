@@ -37,6 +37,22 @@ class MetricsReport:
             return None
         return self.locality * 1e9
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (infinite locality/balance become null)."""
+        def finite(value: float) -> Optional[float]:
+            return None if value == float("inf") else value
+
+        return {
+            "scheme": self.scheme,
+            "num_servers": self.num_servers,
+            "locality": finite(self.locality),
+            "locality_e9": self.locality_e9,
+            "balance": finite(self.balance),
+            "loads": list(self.loads),
+            "mu": self.mu,
+            "weighted_jumps": self.weighted_jumps,
+        }
+
     def row(self) -> str:
         """One formatted table row (scheme, M, locality, balance)."""
         loc = "inf" if self.locality == float("inf") else f"{self.locality:.3e}"

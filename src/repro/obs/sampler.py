@@ -1,0 +1,65 @@
+"""Sim-time gauge sampler.
+
+A :class:`GaugeSampler` owns a set of *probes* — callables evaluated on the
+simulated-time grid already used for liveness heartbeats. Each snapshot
+writes one time-series point per probe into the telemetry sample store and
+mirrors the value into a registry gauge, so the Prometheus snapshot always
+shows the latest grid value.
+
+Two probe shapes:
+
+* scalar — ``add("balance_degree", fn)`` where ``fn() -> float``;
+* vector — ``add_vector("load_factor", fn, "server")`` where
+  ``fn() -> Sequence[float]`` yields one value per label index (per-server
+  gauges computed in one pass, e.g. from ``placement.loads()``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.obs.telemetry import Telemetry
+
+__all__ = ["GaugeSampler"]
+
+
+class GaugeSampler:
+    """Snapshot registered gauge probes at sim-time grid points."""
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        #: (name, labels-dict, fn) scalar probes.
+        self._scalar: List[Tuple[str, Dict[str, object], Callable[[], float]]] = []
+        #: (name, label_key, fn) vector probes.
+        self._vector: List[Tuple[str, str, Callable[[], Sequence[float]]]] = []
+        self.snapshots = 0
+
+    def add(
+        self, name: str, fn: Callable[[], float], **labels: object
+    ) -> None:
+        """Register a scalar probe sampled at every snapshot."""
+        if self.telemetry.enabled:
+            self._scalar.append((name, dict(labels), fn))
+
+    def add_vector(
+        self, name: str, fn: Callable[[], Sequence[float]], label_key: str
+    ) -> None:
+        """Register a probe returning one value per ``label_key`` index."""
+        if self.telemetry.enabled:
+            self._vector.append((name, label_key, fn))
+
+    def snapshot(self, now: float) -> None:
+        """Evaluate every probe at simulated time ``now``."""
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return
+        registry = telemetry.registry
+        for name, labels, fn in self._scalar:
+            value = fn()
+            telemetry.record_sample(now, name, value, **labels)
+            registry.gauge(name, **labels).set(value)
+        for name, label_key, fn in self._vector:
+            for index, value in enumerate(fn()):
+                telemetry.record_sample(now, name, value, **{label_key: index})
+                registry.gauge(name, **{label_key: index}).set(value)
+        self.snapshots += 1

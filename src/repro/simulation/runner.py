@@ -27,6 +27,9 @@ from repro.cluster.monitor import Monitor
 from repro.core.namespace import NamespaceTree
 from repro.core.partition import D2TreePlacement
 from repro.metrics.balance import balance_degree
+from repro.cluster.cache import LRUCache
+from repro.obs.sampler import GaugeSampler
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.simulation.faults import FaultEvent, FaultKind, FaultPlan
 from repro.simulation.network import NetworkModel
 from repro.simulation.stats import (
@@ -93,6 +96,7 @@ class ClusterSimulator:
         workload: GeneratedWorkload,
         num_servers: int,
         config: Optional[SimulationConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.scheme = scheme
         self.workload = workload
@@ -118,12 +122,14 @@ class ClusterSimulator:
             )
             for cid in range(self.config.num_clients)
         ]
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.monitor = Monitor(
             scheme,
             self.tree,
             self.placement,
             heartbeat_timeout=self.config.heartbeat_timeout,
             expected_servers=range(num_servers),
+            telemetry=self.telemetry,
         )
         self.created = 0
         # Late-created nodes (OpType.CREATE extension) do not exist at
@@ -147,6 +153,70 @@ class ClusterSimulator:
         self._initial_popularity = [
             node.individual_popularity for node in self.tree
         ]
+        # Telemetry wiring: lock contention, adjustment rounds and the
+        # sim-time gauge sampler all hang off one Telemetry per run. A
+        # scheme's adjuster is shared state, so it is re-pointed (or
+        # detached) on every simulator construction.
+        self.locks.bind_telemetry(self.telemetry)
+        adjuster = getattr(scheme, "adjuster", None)
+        if adjuster is not None:
+            adjuster.telemetry = self.telemetry if self.telemetry.enabled else None
+        self.sampler = GaugeSampler(self.telemetry)
+        if self.telemetry.enabled:
+            info = self.telemetry.run_info
+            info.setdefault("scheme", scheme.name)
+            info.setdefault("trace", self.trace.name)
+            info.setdefault("servers", num_servers)
+            info.setdefault("seed", self.config.seed)
+            self._register_probes()
+
+    def _register_probes(self) -> None:
+        """Register the gauges sampled on the heartbeat grid (Sec. VI
+        trajectories: per-server load factor, balance, caches, GL size)."""
+        placement = self.placement
+
+        def load_factors() -> List[float]:
+            loads = placement.loads()
+            return [
+                load / cap if cap > 1e-9 else 0.0
+                for load, cap in zip(loads, placement.capacities)
+            ]
+
+        self.sampler.add_vector("load_factor", load_factors, "server")
+        self.sampler.add_vector(
+            "server_visits",
+            lambda: [float(server.served) for server in self.servers],
+            "server",
+        )
+        if self.num_servers >= 2:  # Eq. 2 needs at least two servers
+            self.sampler.add(
+                "balance_degree",
+                lambda: balance_degree(placement.loads(), placement.capacities),
+            )
+        self.sampler.add(
+            "cache_hit_rate",
+            lambda: LRUCache.merged_hit_rate(
+                client.index_cache for client in self.clients
+            ),
+            cache="index",
+        )
+        self.sampler.add(
+            "cache_hit_rate",
+            lambda: LRUCache.merged_hit_rate(
+                client.prefix_cache for client in self.clients
+            ),
+            cache="prefix",
+        )
+        if isinstance(placement, D2TreePlacement):
+            self.sampler.add(
+                "global_layer_size",
+                lambda: float(len(placement.split.global_layer)),
+            )
+            pool_gauge = self.telemetry.registry.gauge(
+                "pending_pool_depth",
+                help="Subtrees parked in the pending pool this adjustment round",
+            )
+            self.sampler.add("pending_pool_depth", lambda: pool_gauge.value)
 
     # ------------------------------------------------------------------
     # Routing
@@ -224,6 +294,7 @@ class ClusterSimulator:
     # Adjustment (heartbeat-driven, mid-replay)
     # ------------------------------------------------------------------
     def _adjust(self, now: float = 0.0) -> None:
+        self.telemetry.set_time(now)
         blend = self.config.popularity_blend
         for node in self.tree:
             observed = self._window_counts.get(node.path, 0.0)
@@ -252,6 +323,13 @@ class ClusterSimulator:
         moves = self.monitor.rebalance()
         self.migrations += len(moves)
         self._charge_migrations(moves)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "adjust_round", t=now, migrations=len(moves), mu=mu,
+            )
+            self.telemetry.registry.counter(
+                "migrations", help="Subtree/key migrations performed",
+            ).inc(len(moves))
 
     def _charge_migrations(self, moves) -> None:
         """Book migration CPU on both ends of every move.
@@ -276,20 +354,29 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     def _fire_fault(self, event: FaultEvent, now: float) -> None:
         """Apply one scheduled fault event at sim time ``now``."""
+        self.telemetry.set_time(now)
         server = self.servers[event.server]
         if event.kind is FaultKind.CRASH:
             if server.alive:
                 server.fail()
                 self._crashed_at[event.server] = now
                 self.availability.crashes += 1
+                self.telemetry.event("fault_crash", t=now, server=event.server)
         elif event.kind is FaultKind.RECOVER:
             self._recover_server(event.server, now)
         elif event.kind is FaultKind.FAIL_SLOW:
             server.slow_factor = event.factor
+            self.telemetry.event(
+                "fault_fail_slow", t=now, server=event.server,
+                factor=event.factor,
+            )
         elif event.kind is FaultKind.DROP_HEARTBEATS:
             if not server.muted:
                 server.muted = True
                 self._muted_at[event.server] = now
+                self.telemetry.event(
+                    "fault_drop_heartbeats", t=now, server=event.server,
+                )
 
     def _heartbeat_round(self, now: float) -> None:
         """Liveness heartbeats plus failure detection.
@@ -299,11 +386,17 @@ class ClusterSimulator:
         in :meth:`_adjust`. Detection runs after the beats so a server that
         rejoined this round is never re-declared dead.
         """
+        self.telemetry.set_time(now)
+        live = 0
         for server in self.servers:
             if server.alive and not server.muted:
                 self.monitor.on_heartbeat(
                     Heartbeat(server.server_id, now, float(server.served), 0.0)
                 )
+                live += 1
+        if self.telemetry.enabled:
+            self.telemetry.event("heartbeat_round", t=now, live=live)
+            self.sampler.snapshot(now)
         for dead in self.monitor.detect_failures(now):
             self.monitor.mark_dead(dead)
             self._rehome_failed(dead, now)
@@ -323,9 +416,15 @@ class ClusterSimulator:
         moves = fail_server(self.placement, dead)
         self.migrations += len(moves)
         self._charge_migrations(moves)
+        self.telemetry.event(
+            "failure_detected", t=now, server=dead,
+            latency=now - since, false_positive=server.alive,
+            moves=len(moves),
+        )
 
     def _recover_server(self, sid: int, now: float) -> None:
         """Rejoin path: restore capacity and pull subtrees back."""
+        self.telemetry.set_time(now)
         server = self.servers[sid]
         was_crashed = not server.alive
         if was_crashed:
@@ -345,10 +444,14 @@ class ClusterSimulator:
         self.migrations += len(moves)
         self._charge_migrations(moves)
         self.availability.rejoins += 1
+        time_to_recover = None
         if was_crashed and sid in self._crashed_at:
-            self.availability.time_to_recover[sid] = (
-                now - self._crashed_at.pop(sid)
-            )
+            time_to_recover = now - self._crashed_at.pop(sid)
+            self.availability.time_to_recover[sid] = time_to_recover
+        self.telemetry.event(
+            "server_rejoined", t=now, server=sid, moves=len(moves),
+            was_crashed=was_crashed, time_to_recover=time_to_recover,
+        )
 
     def _migration_size(self, move) -> int:
         """Metadata nodes transferred by one migration."""
@@ -392,6 +495,23 @@ class ClusterSimulator:
 
         cfg = self.config
         records = self.trace.records
+        # Telemetry fast path: everything below is gated on one local bool
+        # and metric handles are resolved once, so a disabled run only pays
+        # a handful of predicate checks per operation.
+        tel = self.telemetry
+        tel_on = tel.enabled
+        record_ops = tel_on and tel.record_ops
+        if tel_on:
+            m_completed = tel.registry.counter(
+                "ops_completed", help="Operations completed")
+            m_failed = tel.registry.counter(
+                "ops_failed", help="Operations dropped after retry exhaustion")
+            m_retries = tel.registry.counter(
+                "retries", help="Client retries against crashed servers")
+            m_redirects = tel.registry.counter(
+                "redirects", help="Operations that hit a stale cache entry")
+            h_latency = tel.registry.histogram(
+                "op_latency_seconds", help="End-to-end operation latency")
         latencies: List[float] = []
         redirects = 0
         jumps_total = 0
@@ -447,6 +567,12 @@ class ClusterSimulator:
                     "path": record.path,
                     "op": record.op,
                 }
+                if record_ops:
+                    op["id"] = tel.next_op_id()
+                    tel.event(
+                        "op_start", op["id"], t=start, path=record.path,
+                        type=record.op.value, client=client.client_id,
+                    )
                 heapq.heappush(events, (first_arrival, next(seq), op))
                 return True
             return False
@@ -511,9 +637,21 @@ class ClusterSimulator:
                     # Retry budget exhausted: the operation *fails* instead
                     # of looping forever; the client moves on.
                     self.availability.failed_operations += 1
+                    if tel_on:
+                        m_failed.inc()
+                        tel.op_event(
+                            "op_failed", op.get("id"), t=now,
+                            server=visit.server, attempts=attempts,
+                        )
                     dispatch(op["client"], now + cfg.failover_latency)
                     continue
                 self.availability.retries += 1
+                if tel_on:
+                    m_retries.inc()
+                    tel.op_event(
+                        "op_retry", op.get("id"), t=now,
+                        server=visit.server, attempt=attempts,
+                    )
                 backoff = min(
                     cfg.retry_backoff_cap,
                     cfg.retry_backoff_base * (2 ** (attempts - 1)),
@@ -549,6 +687,17 @@ class ClusterSimulator:
                 redirects += 1
             jumps_total += plan.num_jumps
             latencies.append(completion - op["start"])
+            if tel_on:
+                latency = completion - op["start"]
+                m_completed.inc()
+                if redirected:
+                    m_redirects.inc()
+                h_latency.observe(latency)
+                tel.op_event(
+                    "op_complete", op.get("id"), t=completion,
+                    latency=latency, jumps=plan.num_jumps,
+                    redirected=redirected, attempts=op.get("attempts", 0),
+                )
             if completion > makespan:
                 makespan = completion
             self._window_counts[op["path"]] = (
@@ -572,6 +721,14 @@ class ClusterSimulator:
                 self.availability.unavailability += max(0.0, makespan - since)
 
         operations = len(latencies)
+        if tel_on:
+            # Closing grid point: the end-of-run cluster state joins the
+            # time series even when the trace drained between heartbeats.
+            tel.set_time(makespan)
+            self.sampler.snapshot(makespan)
+            tel.registry.gauge(
+                "throughput", help="Completed operations per simulated second"
+            ).set(operations / makespan if makespan > 0 else 0.0)
         return SimulationResult(
             scheme=self.scheme.name,
             trace=self.trace.name,
@@ -597,9 +754,16 @@ def simulate(
     workload: GeneratedWorkload,
     num_servers: int,
     config: Optional[SimulationConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SimulationResult:
-    """One-call wrapper: partition, replay, report."""
-    return ClusterSimulator(scheme, workload, num_servers, config).run()
+    """One-call wrapper: partition, replay, report.
+
+    Pass a :class:`repro.obs.Telemetry` to collect sim-time metrics, gauge
+    time series and trace events for the run (see ``docs/OBSERVABILITY.md``).
+    """
+    return ClusterSimulator(
+        scheme, workload, num_servers, config, telemetry=telemetry
+    ).run()
 
 
 # ----------------------------------------------------------------------

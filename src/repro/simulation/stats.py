@@ -24,12 +24,35 @@ class LatencySummary:
     p99: float
     maximum: float
 
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready form (all plain floats/ints)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linearly interpolated percentile (numpy's default method).
+
+    Nearest-rank rounding collapses p99 onto the maximum for samples under
+    ~100 values — every small-trace tail metric read as the single worst
+    op. Interpolating between the bracketing ranks keeps p50/p95/p99
+    distinct and monotone on small samples.
+    """
     if not sorted_values:
         return 0.0
-    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
-    return sorted_values[index]
+    position = q * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = position - lower
+    return sorted_values[lower] + (
+        (sorted_values[upper] - sorted_values[lower]) * fraction
+    )
 
 
 def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
@@ -84,6 +107,25 @@ class AvailabilityReport:
             or self.failed_operations
             or self.retries
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (per-server dicts keyed by stringified id)."""
+        return {
+            "crashes": self.crashes,
+            "rejoins": self.rejoins,
+            "false_detections": self.false_detections,
+            "failed_operations": self.failed_operations,
+            "retries": self.retries,
+            "detection_latency": {
+                str(server): latency
+                for server, latency in sorted(self.detection_latency.items())
+            },
+            "time_to_recover": {
+                str(server): ttr
+                for server, ttr in sorted(self.time_to_recover.items())
+            },
+            "unavailability": self.unavailability,
+        }
 
     def describe(self) -> str:
         """Multi-line human-readable availability report."""
@@ -146,6 +188,30 @@ class SimulationResult:
     def retries(self) -> int:
         """Client retries against crashed servers (0 when fault-free)."""
         return self.availability.retries if self.availability else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON-ready serialization (the ``--json`` / telemetry form)."""
+        return {
+            "scheme": self.scheme,
+            "trace": self.trace,
+            "num_servers": self.num_servers,
+            "operations": self.operations,
+            "makespan": self.makespan,
+            "throughput": self.throughput,
+            "latency": self.latency.to_dict(),
+            "server_visits": list(self.server_visits),
+            "server_utilization": list(self.server_utilization),
+            "redirects": self.redirects,
+            "migrations": self.migrations,
+            "lock_waits": self.lock_waits,
+            "jumps_total": self.jumps_total,
+            "mean_jumps": self.mean_jumps,
+            "availability": (
+                self.availability.to_dict()
+                if self.availability is not None
+                else None
+            ),
+        }
 
     def row(self) -> str:
         """One formatted results row (Fig. 5 style)."""

@@ -14,10 +14,50 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["AsciiChart", "render_series"]
+__all__ = ["AsciiChart", "render_series", "sparkline"]
 
 #: Distinct glyphs per series, cycled.
 GLYPHS = "ox+*#@%&"
+
+#: Eight-level block glyphs for sparklines (telemetry dashboards).
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int = 48,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render a value series as a fixed-width block-glyph sparkline.
+
+    Longer series are resampled by bucket means; shorter ones are drawn
+    one glyph per point. ``lo``/``hi`` pin the scale (defaults: the series
+    min/max; a flat series renders at the lowest level).
+    """
+    points = [float(v) for v in values]
+    if not points:
+        return ""
+    if len(points) > width:
+        resampled = []
+        for i in range(width):
+            start = i * len(points) // width
+            stop = max(start + 1, (i + 1) * len(points) // width)
+            bucket = points[start:stop]
+            resampled.append(sum(bucket) / len(bucket))
+        points = resampled
+    floor = min(points) if lo is None else lo
+    ceiling = max(points) if hi is None else hi
+    span = ceiling - floor
+    if span <= 0:
+        return SPARK_GLYPHS[0] * len(points)
+    top = len(SPARK_GLYPHS) - 1
+    return "".join(
+        SPARK_GLYPHS[
+            max(0, min(top, round((v - floor) / span * top)))
+        ]
+        for v in points
+    )
 
 
 @dataclass

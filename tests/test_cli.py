@@ -128,3 +128,85 @@ def test_figure_chart_mode(capsys):
 def test_invalid_scheme_rejected():
     with pytest.raises(SystemExit):
         main(["evaluate", "--scheme", "nonsense"])
+
+
+def test_seed_changes_generated_trace(tmp_path, capsys):
+    outputs = []
+    for seed in ("1", "2"):
+        out_file = tmp_path / f"t{seed}.tsv"
+        run(capsys, "generate", "--trace", "dtr", "--nodes", "600",
+            "--scale", "1e-5", "--seed", seed, str(out_file))
+        outputs.append(out_file.read_text())
+    assert outputs[0] != outputs[1]
+    # Same seed reproduces the same bytes.
+    repeat = tmp_path / "t1b.tsv"
+    run(capsys, "generate", "--trace", "dtr", "--nodes", "600",
+        "--scale", "1e-5", "--seed", "1", str(repeat))
+    assert repeat.read_text() == outputs[0]
+
+
+def test_evaluate_json_mode(capsys):
+    import json
+
+    code, out = run(
+        capsys, "evaluate", "--trace", "dtr", "--nodes", "600",
+        "--scale", "1e-5", "--servers", "4", "--scheme", "d2-tree", "--json",
+    )
+    assert code == 0
+    reports = json.loads(out)
+    assert len(reports) == 1
+    assert reports[0]["scheme"] == "d2-tree"
+    assert reports[0]["num_servers"] == 4
+    assert len(reports[0]["loads"]) == 4
+
+
+def test_simulate_json_mode(capsys):
+    import json
+
+    code, out = run(
+        capsys, "simulate", "--trace", "dtr", "--nodes", "600",
+        "--scale", "1e-5", "--servers", "4", "--scheme", "d2-tree", "--json",
+    )
+    assert code == 0
+    results = json.loads(out)
+    assert results[0]["scheme"] == "d2-tree"
+    assert results[0]["throughput"] > 0
+    assert set(results[0]["latency"]) == {
+        "count", "mean", "p50", "p95", "p99", "max",
+    }
+
+
+def test_simulate_metrics_out_and_report(tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "run.jsonl"
+    prom = tmp_path / "metrics.prom"
+    code, _out = run(
+        capsys, "simulate", "--trace", "dtr", "--nodes", "600",
+        "--scale", "1e-5", "--servers", "4", "--scheme", "d2-tree",
+        "--fault", "crash:1@ops=50", "--seed", "5",
+        "--metrics-out", str(metrics), "--metrics-prom", str(prom),
+    )
+    assert code == 0
+    records = [json.loads(line) for line in metrics.read_text().splitlines()]
+    assert records[0]["kind"] == "run"
+    assert records[0]["seed"] == 5
+    assert records[-1]["kind"] == "summary"
+    names = {r.get("event") for r in records if r["kind"] == "event"}
+    assert "fault_crash" in names and "failure_detected" in names
+    assert "repro_ops_completed_total" in prom.read_text()
+
+    code, out = run(capsys, "report", str(metrics),
+                    "--csv", str(tmp_path / "rep"))
+    assert code == 0
+    assert "per-server load factor" in out
+    assert "fault_crash" in out
+    assert (tmp_path / "rep.samples.csv").exists()
+    assert (tmp_path / "rep.events.csv").exists()
+
+
+def test_report_missing_file(tmp_path, capsys):
+    code = main(["report", str(tmp_path / "absent.jsonl")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "error" in err

@@ -1,0 +1,139 @@
+"""Tests for simulation-stats percentiles, serialization and formatting."""
+
+import json
+
+import pytest
+
+from repro.simulation.stats import (
+    AvailabilityReport,
+    LatencySummary,
+    SimulationResult,
+    _percentile,
+    summarize_latencies,
+)
+
+
+# ----------------------------------------------------------------------
+# Linear-interpolation percentiles (satellite fix)
+# ----------------------------------------------------------------------
+def test_percentile_interpolates_between_ranks():
+    values = [1.0, 2.0, 3.0, 4.0]
+    # numpy's default linear method: position = q * (n - 1).
+    assert _percentile(values, 0.50) == pytest.approx(2.5)
+    assert _percentile(values, 0.95) == pytest.approx(3.85)
+    assert _percentile(values, 0.99) == pytest.approx(3.97)
+
+
+def test_percentile_endpoints_and_singleton():
+    values = [10.0, 20.0, 30.0]
+    assert _percentile(values, 0.0) == 10.0
+    assert _percentile(values, 1.0) == 30.0
+    assert _percentile([7.0], 0.95) == 7.0
+    assert _percentile([], 0.5) == 0.0
+
+
+def test_small_sample_tail_percentiles_stay_distinct():
+    # With nearest-rank rounding every tail percentile collapsed onto the
+    # max for samples under ~100 values; interpolation keeps them apart.
+    summary = summarize_latencies([float(i) for i in range(1, 21)])
+    assert summary.p50 < summary.p95 < summary.p99 < summary.maximum
+    assert summary.p50 == pytest.approx(10.5)
+    assert summary.p99 == pytest.approx(19.81)
+
+
+def test_percentiles_monotone_in_q():
+    values = [0.3, 0.1, 4.0, 2.0, 0.9, 1.1, 0.2]
+    ordered = sorted(values)
+    results = [_percentile(ordered, q / 100) for q in range(0, 101, 5)]
+    assert results == sorted(results)
+    assert results[0] == ordered[0] and results[-1] == ordered[-1]
+
+
+# ----------------------------------------------------------------------
+# to_dict serialization (the --json / telemetry-summary form)
+# ----------------------------------------------------------------------
+def test_latency_summary_to_dict_round_trips_json():
+    summary = summarize_latencies([1.0, 2.0, 3.0])
+    data = json.loads(json.dumps(summary.to_dict()))
+    assert data["count"] == 3
+    assert data["mean"] == pytest.approx(2.0)
+    assert set(data) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+def test_availability_to_dict_stringifies_server_keys():
+    report = AvailabilityReport(
+        crashes=2, retries=5,
+        detection_latency={3: 0.2, 1: 0.1},
+        time_to_recover={3: 0.9},
+    )
+    data = report.to_dict()
+    assert data["detection_latency"] == {"1": 0.1, "3": 0.2}
+    assert data["time_to_recover"] == {"3": 0.9}
+    assert list(data["detection_latency"]) == ["1", "3"]  # sorted
+    json.dumps(data)  # JSON-safe
+
+
+def _result(**overrides):
+    kwargs = dict(
+        scheme="d2-tree", trace="DTR", num_servers=4, operations=100,
+        makespan=2.0, throughput=50.0,
+        latency=LatencySummary(100, 0.01, 0.01, 0.02, 0.03, 0.05),
+        jumps_total=40,
+    )
+    kwargs.update(overrides)
+    return SimulationResult(**kwargs)
+
+
+def test_simulation_result_to_dict_includes_derived_fields():
+    data = _result().to_dict()
+    assert data["mean_jumps"] == pytest.approx(0.4)
+    assert data["latency"]["p95"] == 0.02
+    assert data["availability"] is None
+    json.dumps(data)
+
+
+# ----------------------------------------------------------------------
+# Human-readable formatting
+# ----------------------------------------------------------------------
+def test_availability_describe_formats_milliseconds():
+    report = AvailabilityReport(
+        crashes=1, rejoins=1, retries=12, failed_operations=2,
+        detection_latency={2: 0.1521}, time_to_recover={2: 0.5},
+        unavailability=0.1521,
+    )
+    text = report.describe()
+    assert "crashes=1 rejoins=1 false_detections=0" in text
+    assert "failed operations : 2" in text
+    assert "retries           : 12" in text
+    assert "unavailability    : 152.10 ms" in text
+    assert "detection latency : s2=152.10ms" in text
+    assert "time to recover   : s2=500.00ms" in text
+
+
+def test_availability_describe_skips_empty_sections():
+    text = AvailabilityReport(retries=3).describe()
+    assert "detection latency" not in text
+    assert "time to recover" not in text
+
+
+def test_simulation_result_row_fault_free():
+    row = _result().row()
+    assert row.startswith("d2-tree")
+    assert "M=4" in row
+    assert "thr=     50.0 ops/s" in row
+    assert "p95=  20.00 ms" in row
+    assert "jumps/op= 0.40" in row
+    assert "retries=" not in row
+
+
+def test_simulation_result_row_appends_fault_columns():
+    availability = AvailabilityReport(retries=7, failed_operations=1, crashes=1)
+    row = _result(availability=availability).row()
+    assert "retries=7" in row
+    assert "failed=1" in row
+
+
+def test_impacted_flag():
+    assert not AvailabilityReport().impacted
+    assert AvailabilityReport(retries=1).impacted
+    assert AvailabilityReport(crashes=1).impacted
