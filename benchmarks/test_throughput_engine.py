@@ -1,0 +1,77 @@
+"""Routing-engine throughput harness (the perf trajectory for future PRs).
+
+Runs ``repro.bench.bench_routing`` — the same code path as ``repro bench`` —
+on a reduced workload and checks the properties the committed
+``BENCH_throughput.json`` artifact documents:
+
+* the fast engine out-plans the pre-PR per-op planner on every scheme
+  (the committed artifact, measured at the default simulate workload,
+  shows >= 3x geomean; CI boxes are noisy, so the automated floor here is
+  deliberately softer);
+* batched dispatch is result-equivalent to per-op dispatch for both
+  engines, and the fast engine is decision-equivalent to legacy for
+  D2-Tree — any parity flag flipping false fails the job.
+
+Run with ``pytest benchmarks/test_throughput_engine.py -s`` to see the
+measured table.
+"""
+
+import pytest
+
+from repro.bench import bench_routing, write_report
+from repro.traces import DatasetProfile, load_workload
+
+from benchmarks.conftest import print_series
+
+#: CI floor for the per-scheme fast/legacy ratio. The committed artifact
+#: shows 3-7x; anything below this means the fast path has regressed to
+#: roughly the legacy planner's cost.
+MIN_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def report():
+    workload = load_workload(DatasetProfile.dtr(num_nodes=4000, scale=1e-4))
+    return bench_routing(workload, num_servers=8, repeats=2)
+
+
+def test_report_shape(report):
+    assert report["benchmark"] == "routing_engine_throughput"
+    for entry in report["schemes"].values():
+        modes = entry["modes"]
+        for mode in ("legacy", "fast"):
+            stats = modes[mode]
+            assert stats["ops"] > 0
+            assert stats["ops_per_sec"] > 0
+            assert stats["plan_cost_p95_us"] >= stats["plan_cost_p50_us"] >= 0
+            assert 0.0 <= stats["index_cache_hit_rate"] <= 1.0
+        assert "owner_index_hit_rate" in modes["fast"]
+
+
+def test_parity_everywhere(report):
+    """Batched == per-op for both engines; fast == legacy for D2-Tree."""
+    for name, entry in report["schemes"].items():
+        parity = entry["parity"]
+        assert all(parity.values()), f"{name}: parity broken: {parity}"
+    assert "fast_matches_legacy" in report["schemes"]["d2-tree"]["parity"]
+
+
+def test_fast_engine_beats_legacy(report, tmp_path):
+    rows = [
+        (name, [entry["modes"]["legacy"]["ops_per_sec"],
+                entry["modes"]["fast"]["ops_per_sec"],
+                entry["speedup"]])
+        for name, entry in sorted(report["schemes"].items())
+    ]
+    print_series(
+        "Routing-engine throughput (ops/sec)",
+        ["legacy", "fast", "speedup"],
+        rows,
+    )
+    write_report(report, str(tmp_path / "BENCH_throughput.json"))
+    for name, entry in report["schemes"].items():
+        assert entry["speedup"] >= MIN_SPEEDUP, (
+            f"{name}: fast/legacy ratio {entry['speedup']:.2f} below "
+            f"{MIN_SPEEDUP}"
+        )
+    assert report["speedup_geomean"] >= MIN_SPEEDUP

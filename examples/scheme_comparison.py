@@ -11,17 +11,16 @@ Run:  python examples/scheme_comparison.py [servers]
 import sys
 
 from repro import (
-    AngleCutScheme,
-    D2TreeScheme,
     DatasetProfile,
-    DropScheme,
-    DynamicSubtreeScheme,
-    StaticSubtreeScheme,
     TraceGenerator,
+    registry,
     replay_rounds,
     simulate,
 )
 from repro.metrics import evaluate_scheme
+
+#: The five schemes of the paper's evaluation, by registry name.
+SCHEMES = ("d2-tree", "static-subtree", "dynamic-subtree", "drop", "anglecut")
 
 
 def main() -> None:
@@ -31,23 +30,16 @@ def main() -> None:
         DatasetProfile.lmbe(num_nodes=6000, scale=6e-5),
         DatasetProfile.ra(num_nodes=6000, scale=3e-5),
     ]
-    scheme_factories = [
-        D2TreeScheme,
-        StaticSubtreeScheme,
-        DynamicSubtreeScheme,
-        DropScheme,
-        AngleCutScheme,
-    ]
 
     for profile in profiles:
         workload = TraceGenerator(profile).generate()
         print(f"\n=== {profile.name} ({len(workload.trace)} ops, "
               f"{len(workload.tree)} nodes, M={num_servers}) ===")
         print(f"{'scheme':<18}{'throughput':>12}{'locality':>14}{'balance':>10}")
-        for factory in scheme_factories:
-            result = simulate(factory(), workload, num_servers)
-            report = evaluate_scheme(factory(), workload.tree, num_servers)
-            trajectory = replay_rounds(factory(), workload, num_servers, rounds=10)
+        for name in SCHEMES:
+            result = simulate(registry.create(name), workload, num_servers)
+            report = evaluate_scheme(registry.create(name), workload.tree, num_servers)
+            trajectory = replay_rounds(registry.create(name), workload, num_servers, rounds=10)
             balance = min(trajectory.final_balance, 1e6)
             locality = report.locality
             print(f"{result.scheme:<18}{result.throughput:>10.0f}/s"

@@ -45,6 +45,7 @@ from repro.metrics import (
     system_locality,
 )
 from repro.placement import MetadataScheme, Migration, Placement
+from repro import registry
 from repro.simulation import (
     ClusterSimulator,
     SimulationConfig,
@@ -81,6 +82,7 @@ __all__ = [
     "evaluate_placement",
     "evaluate_scheme",
     "load_workload",
+    "registry",
     "mirror_division",
     "replay_rounds",
     "simulate",

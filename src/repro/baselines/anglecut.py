@@ -20,6 +20,7 @@ import bisect
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.placement import DEAD_CAPACITY, MetadataScheme, Migration, Placement
+from repro.registry import register
 from repro.baselines.drop import preorder_keys
 from repro.core.namespace import NamespaceTree
 from repro.core.node import MetadataNode
@@ -79,6 +80,7 @@ class AngleCutPlacement(Placement):
         return super().forget(node)
 
 
+@register("anglecut")
 class AngleCutScheme(MetadataScheme):
     """Multi-ring locality-preserving hashing."""
 

@@ -20,6 +20,7 @@ import bisect
 from typing import Dict, List, Optional, Sequence
 
 from repro.placement import DEAD_CAPACITY, MetadataScheme, Migration, Placement
+from repro.registry import register
 from repro.core.namespace import NamespaceTree
 from repro.core.node import MetadataNode
 
@@ -125,6 +126,7 @@ class DropPlacement(Placement):
         return super().forget(node)
 
 
+@register("drop")
 class DropScheme(MetadataScheme):
     """Locality-preserving hashing + HDLB boundary adjustment.
 

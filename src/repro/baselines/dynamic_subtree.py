@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.placement import DEAD_CAPACITY, MetadataScheme, Migration, Placement
+from repro.registry import register
 from repro.baselines.hashing import stable_hash
 from repro.core.namespace import NamespaceTree
 from repro.core.node import MetadataNode
@@ -70,6 +71,7 @@ class DynamicSubtreePlacement(Placement):
         return loads
 
 
+@register("dynamic-subtree")
 class DynamicSubtreeScheme(MetadataScheme):
     """Migrate-when-overloaded subtree partitioning.
 

@@ -13,6 +13,7 @@ import hashlib
 from typing import Optional, Sequence
 
 from repro.placement import MetadataScheme, Placement
+from repro.registry import register
 from repro.core.namespace import NamespaceTree
 
 __all__ = ["HashScheme", "stable_hash"]
@@ -24,6 +25,7 @@ def stable_hash(text: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+@register("static-hash")
 class HashScheme(MetadataScheme):
     """Place each node at ``hash(path) mod M``."""
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.placement import MetadataScheme, Placement
+from repro.registry import register
 from repro.baselines.hashing import stable_hash
 from repro.core.namespace import NamespaceTree
 from repro.core.node import MetadataNode
@@ -23,6 +24,7 @@ from repro.core.node import MetadataNode
 __all__ = ["StaticSubtreeScheme"]
 
 
+@register("static-subtree")
 class StaticSubtreeScheme(MetadataScheme):
     """Hash depth-``cut_depth`` directories (with their subtrees) to servers."""
 

@@ -1,0 +1,311 @@
+"""Routing-engine throughput benchmark (the ``repro bench`` verb).
+
+Measures the cost of *route planning* — the per-operation work the
+fast-path engine (:mod:`repro.simulation.routing`) optimises — by replaying
+a trace through both engines in a plan-only loop:
+
+* **legacy** mode reproduces the pre-fast-path per-op planner: one
+  ``tree.lookup(path)`` per record followed by the string-keyed ancestor
+  walk.
+* **fast** mode resolves lookups in ``batch_size`` windows and plans through
+  the interned-path owner index.
+
+Both modes replay the identical record → client assignment, so their plans
+(and client-cache statistics) are comparable; a full-simulation parity check
+(batched vs per-op, fast vs legacy) is part of the report and is what the CI
+smoke job asserts on.
+
+Wall-clock numbers never enter simulator telemetry — they live only in the
+benchmark report (``BENCH_throughput.json``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import math
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro import registry
+from repro.cluster.cache import LRUCache
+from repro.cluster.client import SimClient
+from repro.simulation.routing import make_engine
+from repro.simulation.runner import SimulationConfig, simulate
+from repro.traces.generator import GeneratedWorkload
+
+__all__ = ["bench_routing", "write_report"]
+
+#: Matches the simulator's client fleet default.
+BENCH_CLIENTS = 200
+
+#: The timed section repeats full trace passes until it has run at least
+#: this long — small traces would otherwise produce ~10 ms windows whose
+#: scheduler noise dwarfs the signal.
+MIN_TIMED_SECONDS = 0.3
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def _plan_pass(
+    engine_name: str,
+    engine,
+    assigned,
+    lookup,
+    batch_size: int,
+    sample_every: int = 0,
+) -> object:
+    """Plan every ``(client, record)`` pair once through ``engine``.
+
+    The record → client assignment is precomputed by the caller (it is
+    harness bookkeeping, identical for both modes, not planner work); path
+    resolution stays inside the pass — it is part of the dispatch pipeline
+    both engines pay for.
+
+    With ``sample_every == 0`` the pass is a pure loop and returns its ops
+    count; otherwise per-plan cost samples (seconds) are returned — every
+    ``sample_every``-th op timed individually in legacy mode, every window
+    timed and divided by its size in fast mode (batched planning has no
+    meaningful single-op boundary).
+    """
+    plan = engine.plan
+    planned = 0
+    samples: List[float] = []
+    perf = time.perf_counter
+    if engine_name == "legacy":
+        # Pre-fast-path behaviour: resolve and plan one record at a time.
+        if sample_every:
+            for index, (client, record) in enumerate(assigned):
+                node = lookup(record.path)
+                if node is None:
+                    continue
+                if index % sample_every:
+                    plan(client, node, record.op)
+                else:
+                    t0 = perf()
+                    plan(client, node, record.op)
+                    samples.append(perf() - t0)
+            return samples
+        for client, record in assigned:
+            node = lookup(record.path)
+            if node is None:
+                continue
+            plan(client, node, record.op)
+            planned += 1
+        return planned
+    # Fast path: lookups resolved in batch_size windows, the whole window
+    # planned through the engine's batch entry point.
+    windows = (
+        [
+            (client, node, r.op)
+            for client, r in assigned[base : base + batch_size]
+            if (node := lookup(r.path)) is not None
+        ]
+        for base in range(0, len(assigned), batch_size)
+    )
+    if sample_every:
+        # Per-plan cost sampled one window at a time (cost divided evenly
+        # across the window's ops).
+        for window in windows:
+            if not window:
+                continue
+            t0 = perf()
+            engine.plan_batch(window)
+            samples.append((perf() - t0) / len(window))
+        return samples
+    plan_batch = engine.plan_batch
+    for window in windows:
+        planned += len(plan_batch(window))
+    return planned
+
+
+def _run_mode(
+    engine_name: str,
+    workload: GeneratedWorkload,
+    num_servers: int,
+    scheme_name: str,
+    batch_size: int,
+    max_ops: Optional[int],
+    sample_every: int,
+) -> Dict[str, object]:
+    """Measure one engine's steady-state route-planning cost.
+
+    Three passes over the trace with identical record → client assignment:
+    an un-timed warmup (client caches and the owner index reach steady
+    state — what a long-running cluster looks like), a timed pure pass
+    (→ ops/sec), and a sampling pass (→ p50/p95 per-plan cost).
+    """
+    tree = workload.tree
+    tree.ensure_popularity()
+    scheme = registry.create(scheme_name)
+    placement = scheme.partition(tree, num_servers)
+    engine = make_engine(engine_name, tree, placement)
+    clients = [SimClient(cid, num_servers) for cid in range(BENCH_CLIENTS)]
+    records = workload.trace.records
+    if max_ops is not None:
+        records = records[:max_ops]
+    lookup = tree.lookup
+    assigned = [
+        (clients[i % BENCH_CLIENTS], record)
+        for i, record in enumerate(records)
+    ]
+
+    _plan_pass(engine_name, engine, assigned, lookup, batch_size)
+    perf = time.perf_counter
+    gc_was_enabled = gc.isenabled()
+    gc.disable()  # keep collector pauses out of the timed passes
+    try:
+        planned = 0
+        start = perf()
+        while True:
+            planned += _plan_pass(
+                engine_name, engine, assigned, lookup, batch_size
+            )
+            elapsed = perf() - start
+            if elapsed >= MIN_TIMED_SECONDS:
+                break
+        samples = _plan_pass(
+            engine_name, engine, assigned, lookup, batch_size,
+            sample_every=sample_every,
+        )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    samples.sort()
+    report: Dict[str, object] = {
+        "engine": engine_name,
+        "ops": planned,
+        "elapsed_seconds": elapsed,
+        "ops_per_sec": planned / elapsed if elapsed > 0 else 0.0,
+        "plan_cost_p50_us": _percentile(samples, 0.50) * 1e6,
+        "plan_cost_p95_us": _percentile(samples, 0.95) * 1e6,
+        "index_cache_hit_rate": LRUCache.merged_hit_rate(
+            c.index_cache for c in clients
+        ),
+        "prefix_cache_hit_rate": LRUCache.merged_hit_rate(
+            c.prefix_cache for c in clients
+        ),
+    }
+    if hasattr(engine, "hit_rate"):
+        report["owner_index_hit_rate"] = engine.hit_rate
+    return report
+
+
+def _parity_check(
+    workload: GeneratedWorkload, num_servers: int, scheme_name: str
+) -> Dict[str, bool]:
+    """Full-simulation equivalence: batched dispatch ≡ per-op dispatch.
+
+    Checked for both engines — batch size is a pure throughput knob and any
+    divergence is a bug (the CI smoke job fails on it). D2-Tree runs are
+    additionally fast ≡ legacy bit-equal; the generic planner is not (its
+    warm path intentionally skips the per-ancestor walk).
+    """
+    def run(**overrides):
+        cfg = SimulationConfig(num_clients=50, adjust_every_ops=1000, **overrides)
+        return simulate(registry.create(scheme_name), workload, num_servers, cfg)
+
+    parity = {
+        "fast_batched_matches_per_op": run() == run(batch_size=1),
+        "legacy_batched_matches_per_op": (
+            run(routing_engine="legacy")
+            == run(routing_engine="legacy", batch_size=1)
+        ),
+    }
+    if scheme_name == "d2-tree":
+        parity["fast_matches_legacy"] = run() == run(routing_engine="legacy")
+    return parity
+
+
+def _bench_scheme(
+    workload: GeneratedWorkload,
+    num_servers: int,
+    scheme_name: str,
+    batch_size: int,
+    max_ops: Optional[int],
+    repeats: int,
+    sample_every: int,
+    parity: bool,
+) -> Dict[str, object]:
+    """Benchmark both engines for one scheme; the best of ``repeats`` passes
+    per engine is kept (benchmark convention: the fastest repeat is the
+    least noisy estimate of the true cost). Repeats are interleaved
+    legacy/fast so slow drift in machine speed hits both engines alike
+    instead of biasing whichever ran last."""
+    modes: Dict[str, Dict[str, object]] = {}
+    for _ in range(max(1, repeats)):
+        for engine_name in ("legacy", "fast"):
+            result = _run_mode(
+                engine_name, workload, num_servers, scheme_name,
+                batch_size, max_ops, sample_every,
+            )
+            best = modes.get(engine_name)
+            if best is None or result["ops_per_sec"] > best["ops_per_sec"]:
+                modes[engine_name] = result
+
+    legacy_rate = float(modes["legacy"]["ops_per_sec"])
+    fast_rate = float(modes["fast"]["ops_per_sec"])
+    entry: Dict[str, object] = {
+        "modes": modes,
+        "speedup": fast_rate / legacy_rate if legacy_rate > 0 else 0.0,
+    }
+    if parity:
+        entry["parity"] = _parity_check(workload, num_servers, scheme_name)
+    return entry
+
+
+def bench_routing(
+    workload: GeneratedWorkload,
+    num_servers: int = 8,
+    schemes: Optional[List[str]] = None,
+    batch_size: int = 64,
+    max_ops: Optional[int] = None,
+    repeats: int = 3,
+    sample_every: int = 16,
+    parity: bool = True,
+) -> Dict[str, object]:
+    """Benchmark both routing engines over one workload; returns the report.
+
+    ``schemes`` defaults to every registered scheme — the same set the
+    default ``repro simulate`` invocation runs. The headline
+    ``speedup_geomean`` aggregates per-scheme fast/legacy ratios the way
+    benchmark suites conventionally do (a plain mean would let one extreme
+    scheme dominate).
+    """
+    names = list(schemes) if schemes else registry.available()
+    per_scheme: Dict[str, Dict[str, object]] = {}
+    for scheme_name in names:
+        per_scheme[scheme_name] = _bench_scheme(
+            workload, num_servers, scheme_name, batch_size,
+            max_ops, repeats, sample_every, parity,
+        )
+    speedups = [float(entry["speedup"]) for entry in per_scheme.values()]
+    geomean = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups and all(s > 0 for s in speedups)
+        else 0.0
+    )
+    return {
+        "benchmark": "routing_engine_throughput",
+        "trace": workload.trace.name,
+        "num_servers": num_servers,
+        "batch_size": batch_size,
+        "python": platform.python_version(),
+        "schemes": per_scheme,
+        "speedup_geomean": geomean,
+    }
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Write the benchmark report as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -21,16 +21,10 @@ import argparse
 import dataclasses
 import json
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
-from repro.baselines import (
-    AngleCutScheme,
-    DropScheme,
-    DynamicSubtreeScheme,
-    HashScheme,
-    StaticSubtreeScheme,
-)
-from repro.core import D2TreeScheme
+from repro import registry
 from repro.metrics import evaluate_scheme
 from repro.placement import MetadataScheme
 from repro.simulation import replay_rounds, simulate
@@ -44,14 +38,37 @@ PROFILE_MAKERS: Dict[str, Callable[..., DatasetProfile]] = {
     "ra": DatasetProfile.ra,
 }
 
-SCHEME_MAKERS: Dict[str, Callable[[], MetadataScheme]] = {
-    "d2-tree": D2TreeScheme,
-    "static-subtree": StaticSubtreeScheme,
-    "dynamic-subtree": DynamicSubtreeScheme,
-    "static-hash": HashScheme,
-    "drop": DropScheme,
-    "anglecut": AngleCutScheme,
-}
+
+class _DeprecatedSchemeMakers(Mapping):
+    """Read-only view of the scheme registry kept for backward compatibility.
+
+    ``repro.cli.SCHEME_MAKERS`` predates :mod:`repro.registry`; importing it
+    still works but every access warns. New code should call
+    ``registry.get(name)`` / ``registry.available()`` directly.
+    """
+
+    @staticmethod
+    def _warn() -> None:
+        warnings.warn(
+            "repro.cli.SCHEME_MAKERS is deprecated; use repro.registry "
+            "(register/get/available) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, name: str) -> Callable[[], MetadataScheme]:
+        self._warn()
+        return registry.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(registry.available())
+
+    def __len__(self) -> int:
+        return len(registry.available())
+
+
+SCHEME_MAKERS: Mapping[str, Callable[[], MetadataScheme]] = _DeprecatedSchemeMakers()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     ev = sub.add_parser("evaluate", help="partition and print paper metrics")
     add_workload_args(ev)
     ev.add_argument("--servers", type=int, default=8)
-    ev.add_argument("--scheme", choices=sorted(SCHEME_MAKERS), default=None,
+    ev.add_argument("--scheme", choices=registry.available(), default=None,
                     help="one scheme (default: all)")
     ev.add_argument("--rebalance-rounds", type=int, default=0)
     ev.add_argument("--json", action="store_true",
@@ -92,7 +109,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser("simulate", help="replay through the cluster simulator")
     add_workload_args(sim)
     sim.add_argument("--servers", type=int, default=8)
-    sim.add_argument("--scheme", choices=sorted(SCHEME_MAKERS), default=None)
+    sim.add_argument("--scheme", choices=registry.available(), default=None)
+    sim.add_argument("--batch-size", type=int, default=None,
+                     help="dispatch prefetch window for the routing fast "
+                          "path (1 = per-op; default 64; results are "
+                          "byte-identical across batch sizes)")
+    sim.add_argument("--routing-engine", choices=["fast", "legacy"],
+                     default=None,
+                     help="route planner implementation (default fast; "
+                          "legacy is the pre-index per-op planner kept as "
+                          "the benchmark baseline)")
     sim.add_argument("--fault", action="append", default=[], metavar="SPEC",
                      help="inject a fault: kind:server@ops=N or "
                           "kind:server@t=SEC, kind one of crash, recover, "
@@ -120,6 +146,29 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--no-op-events", action="store_true",
                      help="with --metrics-out: skip per-operation lifecycle "
                           "events (keep cluster events and gauge series)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark the routing engines and write BENCH_throughput.json",
+    )
+    add_workload_args(bench)
+    bench.add_argument("--servers", type=int, default=8)
+    bench.add_argument("--scheme", action="append", default=None,
+                       choices=registry.available(), metavar="NAME",
+                       help="scheme to bench (repeatable; default: all, the "
+                            "same set `repro simulate` runs)")
+    bench.add_argument("--batch-size", type=int, default=64,
+                       help="fast-engine dispatch window (default 64)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions per engine; best kept "
+                            "(default 3)")
+    bench.add_argument("--max-ops", type=int, default=None,
+                       help="truncate the trace to this many operations")
+    bench.add_argument("--no-parity", action="store_true",
+                       help="skip the full-simulation batched-vs-per-op "
+                            "equivalence checks")
+    bench.add_argument("--out", metavar="FILE", default="BENCH_throughput.json",
+                       help="report path (default BENCH_throughput.json)")
 
     fig = sub.add_parser("figure", help="regenerate a figure's data as CSV")
     fig.add_argument("name", choices=["fig5", "fig6", "fig7"],
@@ -152,8 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _schemes(choice: Optional[str]) -> List[MetadataScheme]:
     if choice is not None:
-        return [SCHEME_MAKERS[choice]()]
-    return [maker() for maker in SCHEME_MAKERS.values()]
+        return [registry.create(choice)]
+    return registry.make_all()
 
 
 def _profile(args):
@@ -192,7 +241,9 @@ def cmd_evaluate(args) -> int:
             rebalance_rounds=args.rebalance_rounds,
         )
         if args.json:
-            reports.append(report.to_dict())
+            payload = report.to_dict()
+            payload["scheme_params"] = scheme.params()
+            reports.append(payload)
         else:
             print(report.row())
     if args.json:
@@ -217,6 +268,10 @@ def cmd_simulate(args) -> int:
         overrides["heartbeat_interval"] = args.heartbeat_interval
     if args.heartbeat_timeout is not None:
         overrides["heartbeat_timeout"] = args.heartbeat_timeout
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    if args.routing_engine is not None:
+        overrides["routing_engine"] = args.routing_engine
     if args.seed is not None:
         overrides["seed"] = args.seed
     config = SimulationConfig(**overrides) if overrides else None
@@ -251,7 +306,11 @@ def cmd_simulate(args) -> int:
             with open(args.metrics_prom, mode, encoding="utf-8") as handle:
                 handle.write(prometheus_text(telemetry.registry))
         if args.json:
-            results_json.append(result.to_dict())
+            payload = result.to_dict()
+            # Record the exact scheme configuration so a run's JSON is
+            # self-describing (reconstruct via registry.create(name, **params)).
+            payload["scheme_params"] = scheme.params()
+            results_json.append(payload)
         else:
             print(result.row())
             if result.availability is not None and result.availability.impacted:
@@ -268,19 +327,61 @@ FIGURE_LABELS = {
 }
 
 
+def cmd_bench(args) -> int:
+    from repro.bench import bench_routing, write_report
+
+    workload = _workload(args)
+    report = bench_routing(
+        workload,
+        num_servers=args.servers,
+        schemes=args.scheme,
+        batch_size=args.batch_size,
+        max_ops=args.max_ops,
+        repeats=args.repeats,
+        parity=not args.no_parity,
+    )
+    write_report(report, args.out)
+    for name, entry in report["schemes"].items():
+        modes = entry["modes"]
+        parity = entry.get("parity")
+        parity_note = (
+            "" if parity is None
+            else "  parity=OK" if all(parity.values())
+            else "  parity=FAIL"
+        )
+        print(
+            f"{name:16s} fast {modes['fast']['ops_per_sec']:>12,.0f} op/s"
+            f"  legacy {modes['legacy']['ops_per_sec']:>12,.0f} op/s"
+            f"  speedup {entry['speedup']:.2f}x{parity_note}"
+        )
+    print(f"geomean speedup {report['speedup_geomean']:.2f}x -> {args.out}")
+    failed = [
+        name
+        for name, entry in report["schemes"].items()
+        if entry.get("parity") and not all(entry["parity"].values())
+    ]
+    if failed:
+        print(f"parity check FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_figure(args) -> int:
     workload = _workload(args)
     series: Dict[str, List[float]] = {}
     for scheme in _schemes(None):
         values: List[float] = []
         for m in args.sizes:
+            # Each sweep point needs an unshared scheme (adjusters and RNGs
+            # carry state); scheme.fresh() clones through the params surface
+            # so configured (non-default) schemes keep their configuration.
             if args.name == "fig5":
-                values.append(simulate(type(scheme)(), workload, m).throughput)
+                values.append(simulate(scheme.fresh(), workload, m).throughput)
             elif args.name == "fig6":
-                report = evaluate_scheme(type(scheme)(), workload.tree, m)
+                report = evaluate_scheme(scheme.fresh(), workload.tree, m)
                 values.append((report.locality_e9 or 0.0))
             else:
-                trajectory = replay_rounds(type(scheme)(), workload, m, rounds=10)
+                trajectory = replay_rounds(scheme.fresh(), workload, m, rounds=10)
                 values.append(min(trajectory.final_balance, 1e6))
         series[scheme.name] = values
     if args.chart:
@@ -349,6 +450,7 @@ COMMANDS = {
     "generate": cmd_generate,
     "evaluate": cmd_evaluate,
     "simulate": cmd_simulate,
+    "bench": cmd_bench,
     "figure": cmd_figure,
     "stats": cmd_stats,
     "report": cmd_report,

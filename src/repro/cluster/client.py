@@ -39,6 +39,9 @@ class SimClient:
         #: recently permission-checked directory path -> believed server.
         self.prefix_cache: LRUCache[str, int] = LRUCache(prefix_cache_size)
         self._rng = random.Random((seed << 20) ^ client_id)
+        # Bound method cached for the routing fast path (one draw per
+        # global-layer op; the extra attribute hop is measurable there).
+        self._randbelow = self._rng._randbelow
         self.operations = 0
         self.redirects = 0
 

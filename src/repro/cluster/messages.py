@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, NamedTuple
 
 __all__ = ["VisitKind", "Visit", "RoutePlan", "Heartbeat", "OperationOutcome"]
 
@@ -19,9 +19,13 @@ class VisitKind(enum.Enum):
     REPLICA_WRITE = "replica-write"  # global-layer update fan-out
 
 
-@dataclass(frozen=True)
-class Visit:
-    """One server touch within a request's lifetime."""
+class Visit(NamedTuple):
+    """One server touch within a request's lifetime.
+
+    A NamedTuple rather than a dataclass: one is built per server hop of
+    every simulated operation, and tuple construction is the cheapest
+    immutable record Python offers.
+    """
 
     server: int
     kind: VisitKind

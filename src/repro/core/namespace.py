@@ -7,11 +7,11 @@ paper), and the traversal utilities the partitioning algorithms rely on.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.node import PATH_SEPARATOR, MetadataNode
 
-__all__ = ["NamespaceTree", "split_path"]
+__all__ = ["NamespaceTree", "PathTable", "split_path"]
 
 
 def split_path(path: str) -> List[str]:
@@ -23,6 +23,97 @@ def split_path(path: str) -> List[str]:
     []
     """
     return [part for part in path.split(PATH_SEPARATOR) if part]
+
+
+class PathTable:
+    """Interned-path view of one :class:`NamespaceTree` snapshot.
+
+    The routing fast path never wants to split or hash path *strings* in its
+    hot loop, so the table interns every live path to the node's dense
+    integer id and precomputes the structural arrays route planning needs:
+
+    * ``parent_id`` / ``depth`` — parent pointers and depths indexed by id,
+    * lazily-built **ancestor chains** (root-first, excluding the node
+      itself) shared across every lookup of the same node, and
+    * ``ancestor_at_depth`` — O(1) after the first touch of a node's chain.
+
+    A table is valid for one structure version of its tree; mutation
+    (insert / rename / move / remove) bumps the version and
+    :meth:`NamespaceTree.path_table` hands out a fresh table. Popularity
+    updates do not invalidate it.
+    """
+
+    __slots__ = ("tree", "version", "_id_of", "_nodes", "parent_id", "depth", "_chains")
+
+    def __init__(self, tree: "NamespaceTree") -> None:
+        self.tree = tree
+        self.version = tree.structure_version
+        self._nodes = tree._nodes
+        self._id_of: Dict[str, int] = {
+            path: node.node_id for path, node in tree._by_path.items()
+        }
+        # Top-down traversal (registration order is NOT topological once
+        # move_node has re-parented a subtree under a later-registered node).
+        parent_id: List[int] = [-1] * len(self._nodes)
+        depth: List[int] = [0] * len(self._nodes)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            nid = node.node_id
+            child_depth = depth[nid] + 1
+            for child in node.children:
+                cid = child.node_id
+                parent_id[cid] = nid
+                depth[cid] = child_depth
+                stack.append(child)
+        self.parent_id = parent_id
+        self.depth = depth
+        #: node_id -> ancestors root-first, excluding the node (lazy).
+        self._chains: List[Optional[Tuple[MetadataNode, ...]]] = [None] * len(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._id_of)
+
+    def id_of(self, path: str) -> int:
+        """Interned id for ``path``, or -1 when the path is absent."""
+        return self._id_of.get(path, -1)
+
+    def node_of(self, node_id: int) -> MetadataNode:
+        """The node carrying dense id ``node_id``."""
+        return self._nodes[node_id]
+
+    def chain(self, node: MetadataNode) -> Tuple[MetadataNode, ...]:
+        """Ancestors of ``node`` root-first, excluding ``node`` (set ``A_j``).
+
+        Unlike :meth:`MetadataNode.ancestors` this allocates once per node
+        per table — the tuple is cached and shared, which is what lets the
+        generic planner walk POSIX prefixes without per-operation list
+        builds. Chains compose: a node's chain is its parent's chain plus
+        the parent.
+        """
+        chains = self._chains
+        nid = node.node_id
+        cached = chains[nid]
+        if cached is None:
+            parent = node.parent
+            if parent is None:
+                cached = ()
+            else:
+                cached = self.chain(parent) + (parent,)
+            chains[nid] = cached
+        return cached
+
+    def ancestor_at_depth(self, node: MetadataNode, depth: int) -> MetadataNode:
+        """The ancestor of ``node`` at ``depth`` (``node`` itself at its own).
+
+        O(1) once the node's chain is built.
+        """
+        own = self.depth[node.node_id]
+        if not 0 <= depth <= own:
+            raise ValueError(f"depth {depth} outside [0, {own}]")
+        if depth == own:
+            return node
+        return self.chain(node)[depth]
 
 
 class NamespaceTree:
@@ -38,6 +129,10 @@ class NamespaceTree:
         self._by_path: Dict[str, MetadataNode] = {PATH_SEPARATOR: self.root}
         self._removed: Set[int] = set()
         self._popularity_dirty = False
+        #: Bumped on any structural mutation; readers holding a PathTable
+        #: compare against it to detect staleness.
+        self.structure_version = 0
+        self._path_table: Optional[PathTable] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -105,6 +200,7 @@ class NamespaceTree:
         node.node_id = len(self._nodes)
         self._nodes.append(node)
         self._by_path[node.path] = node
+        self.structure_version += 1
 
     # ------------------------------------------------------------------
     # Mutation (rename / move / remove)
@@ -134,6 +230,7 @@ class NamespaceTree:
         for member in node.descendants(include_self=True):
             self._by_path.pop(member.path, None)
         node.name = new_name
+        self.structure_version += 1
         return self._reindex_subtree(node)
 
     def move_node(self, node: MetadataNode, new_parent: MetadataNode) -> int:
@@ -155,6 +252,7 @@ class NamespaceTree:
         node.parent = new_parent
         new_parent.children.append(node)
         self._popularity_dirty = True
+        self.structure_version += 1
         return self._reindex_subtree(node)
 
     def remove(self, node: MetadataNode) -> int:
@@ -174,6 +272,7 @@ class NamespaceTree:
         node.parent.children.remove(node)
         node.parent = None
         self._popularity_dirty = True
+        self.structure_version += 1
         return removed
 
     # ------------------------------------------------------------------
@@ -182,6 +281,17 @@ class NamespaceTree:
     def lookup(self, path: str) -> Optional[MetadataNode]:
         """Return the node at ``path``, or ``None`` when absent."""
         return self._by_path.get(path)
+
+    def path_table(self) -> PathTable:
+        """The interned-path table for the tree's current structure.
+
+        Cached until the next structural mutation; see :class:`PathTable`.
+        """
+        table = self._path_table
+        if table is None or table.version != self.structure_version:
+            table = PathTable(self)
+            self._path_table = table
+        return table
 
     def node_by_id(self, node_id: int) -> MetadataNode:
         """Return the node with dense id ``node_id``."""

@@ -38,6 +38,14 @@ class D2TreePlacement(Placement):
         self.split = split
         #: subtree root -> owning server (the client-cached local index).
         self.subtree_owner: Dict[MetadataNode, int] = {}
+        #: Bumped whenever two-layer *membership* changes — a subtree root
+        #: appears or disappears, or a node changes layer (promotion /
+        #: demotion). Plain migrations keep the root set intact and do NOT
+        #: bump it, which is what lets the routing engine's node→root cache
+        #: survive adjustment churn. Owner lookups always read
+        #: ``subtree_owner`` live, so ownership changes are visible
+        #: immediately either way.
+        self.index_version = 0
         if replication_factor is None:
             replication_factor = num_servers
         if not 1 <= replication_factor <= num_servers:
@@ -63,6 +71,7 @@ class D2TreePlacement(Placement):
     def place_subtree(self, root: MetadataNode, server: int) -> None:
         """Assign an entire local-layer subtree to ``server``."""
         self.subtree_owner[root] = server
+        self.index_version += 1
         self.assign(root, server)
         for node in root.descendants():
             self.assign(node, server)
@@ -78,6 +87,7 @@ class D2TreePlacement(Placement):
         if root not in self.subtree_owner:
             raise KeyError(f"{root.path!r} is not a local-layer subtree root")
         owner = self.subtree_owner.pop(root)
+        self.index_version += 1
         self.split.global_layer.add(root)
         if root in self.split.subtree_roots:
             self.split.subtree_roots.remove(root)
@@ -109,6 +119,7 @@ class D2TreePlacement(Placement):
             return False
         if node in self.subtree_owner:
             del self.subtree_owner[node]
+            self.index_version += 1
             if node in self.split.subtree_roots:
                 self.split.subtree_roots.remove(node)
             self.split.local_popularity -= node.popularity
@@ -133,6 +144,7 @@ class D2TreePlacement(Placement):
         self.split.update_cost -= node.update_cost
         self.split.subtree_roots.append(node)
         self.subtree_owner[node] = owner
+        self.index_version += 1
         self.assign(node, owner)
 
     def add_server(self, capacity: float = 1.0) -> int:

@@ -9,9 +9,10 @@ the system evaluated in Section VI.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.placement import MetadataScheme, Migration
+from repro.registry import register
 from repro.core.adjustment import DynamicAdjuster
 from repro.core.allocation import allocate_subtrees
 from repro.core.namespace import NamespaceTree
@@ -21,6 +22,7 @@ from repro.core.splitting import SplitResult, split_by_proportion, tree_split
 __all__ = ["D2TreeScheme"]
 
 
+@register("d2-tree")
 class D2TreeScheme(MetadataScheme):
     """Distributed double-layer namespace tree partitioning (the paper's D2-Tree).
 
@@ -106,7 +108,14 @@ class D2TreeScheme(MetadataScheme):
         if replication_factor is not None and replication_factor < 1:
             raise ValueError("replication_factor must be at least 1")
         self.replication_factor = replication_factor
+        self.seed = seed
         self._rng = random.Random(seed)
+
+    def params(self) -> Dict[str, object]:
+        """Exact construction record (two knobs live on sub-objects)."""
+        out = super().params()
+        out["imbalance_tolerance"] = self.adjuster.imbalance_tolerance
+        return out
 
     # ------------------------------------------------------------------
     def split(self, tree: NamespaceTree) -> SplitResult:
@@ -183,6 +192,7 @@ class D2TreeScheme(MetadataScheme):
         )
         placement.subtree_owner[node] = server
         placement.split.subtree_roots.append(node)
+        placement.index_version += 1
         placement.assign(node, server)
         return server
 

@@ -12,6 +12,7 @@ knows how to answer the two questions the paper's metrics need:
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -49,6 +50,11 @@ class Placement:
         self.capacities: List[float] = [float(c) for c in capacities]
         self._servers_of: Dict[MetadataNode, Tuple[int, ...]] = {}
         self._all = tuple(range(num_servers))
+        #: Monotone counter bumped on every assignment mutation. Derived
+        #: read-side caches (the routing engine's owner index) compare it
+        #: against the value they last saw instead of subscribing to
+        #: individual call sites.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Building
@@ -57,9 +63,11 @@ class Placement:
         """Place ``node`` on a single server."""
         self._check_server(server)
         self._servers_of[node] = (server,)
+        self.version += 1
 
     def replicate(self, node: MetadataNode, servers: Optional[Sequence[int]] = None) -> None:
         """Replicate ``node`` to ``servers`` (default: every server)."""
+        self.version += 1
         if servers is None:
             self._servers_of[node] = self._all
             return
@@ -85,6 +93,7 @@ class Placement:
         self.num_servers += 1
         self.capacities.append(float(capacity))
         self._all = tuple(range(self.num_servers))
+        self.version += 1
         return self.num_servers - 1
 
     def _check_server(self, server: int) -> None:
@@ -115,6 +124,7 @@ class Placement:
 
         Returns whether the node was placed.
         """
+        self.version += 1
         return self._servers_of.pop(node, None) is not None
 
     def placed_nodes(self) -> List[MetadataNode]:
@@ -245,6 +255,52 @@ class MetadataScheme(ABC):
         server = placement.primary_of(parent) if parent is not None else 0
         placement.assign(node, server)
         return server
+
+    # ------------------------------------------------------------------
+    # Construction/serialization surface (the scheme-registry contract)
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, object]:
+        """The scheme's construction parameters as a JSON-friendly dict.
+
+        The default implementation mirrors ``__init__``'s signature against
+        same-named instance attributes — which covers every scheme that
+        stores its knobs verbatim. Schemes that transform their arguments
+        (e.g. into sub-objects) override this so that
+        ``type(self).from_params(self.params())`` reproduces an equivalent
+        scheme.
+        """
+        out: Dict[str, object] = {}
+        signature = inspect.signature(type(self).__init__)
+        for name, parameter in signature.parameters.items():
+            if name == "self" or parameter.kind in (
+                parameter.VAR_POSITIONAL,
+                parameter.VAR_KEYWORD,
+            ):
+                continue
+            if hasattr(self, name):
+                out[name] = getattr(self, name)
+        return out
+
+    @classmethod
+    def from_params(cls, params: Optional[Dict[str, object]] = None) -> "MetadataScheme":
+        """Build a scheme from a :meth:`params` dict (the inverse direction).
+
+        ``from_params(scheme.params())`` yields a scheme with equal
+        configuration — the contract telemetry run headers and ``--json``
+        output rely on to make runs reproducible from their records.
+        """
+        return cls(**dict(params or {}))
+
+    def fresh(self) -> "MetadataScheme":
+        """An unshared copy with identical configuration.
+
+        Scheme objects carry mutable state (adjusters, RNGs), so anything
+        that partitions the same scheme repeatedly — the figure sweeps, the
+        benchmark roster — clones through the params surface instead of
+        re-instantiating with defaults (which silently dropped non-default
+        configuration).
+        """
+        return type(self).from_params(self.params())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,106 @@
+"""Scheme registry: one authoritative roster of partitioning schemes.
+
+Every :class:`~repro.placement.MetadataScheme` self-registers here under its
+CLI name (``d2-tree``, ``static-subtree``, ...), so the CLI, the benchmark
+fixtures and the examples all consume a single source of truth instead of
+hand-rolled scheme lists.
+
+>>> from repro import registry
+>>> sorted(registry.available())[:2]
+['anglecut', 'd2-tree']
+>>> scheme = registry.create("d2-tree")
+>>> registry.get("d2-tree").from_params(scheme.params()).name
+'d2-tree'
+
+``register`` is usable both as a decorator on the scheme class and as a
+plain call with an explicit factory. Names are unique: re-registering a name
+with a *different* factory raises, so typos never shadow a real scheme.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.placement import MetadataScheme
+
+__all__ = ["register", "get", "available", "create", "make_all"]
+
+#: name -> factory (usually the scheme class itself).
+_REGISTRY: Dict[str, Callable[..., "MetadataScheme"]] = {}
+_LOADED = False
+
+
+def register(
+    name: str,
+    factory: Optional[Callable[..., "MetadataScheme"]] = None,
+):
+    """Register ``factory`` under ``name``; usable as a class decorator.
+
+    >>> @register("my-scheme")           # doctest: +SKIP
+    ... class MyScheme(MetadataScheme):
+    ...     name = "my-scheme"
+    """
+    if not name:
+        raise ValueError("scheme name must be non-empty")
+
+    def _add(factory: Callable[..., "MetadataScheme"]):
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not factory:
+            raise ValueError(
+                f"scheme name {name!r} is already registered to {existing!r}"
+            )
+        _REGISTRY[name] = factory
+        return factory
+
+    if factory is None:
+        return _add
+    return _add(factory)
+
+
+def _ensure_loaded() -> None:
+    """Import the modules whose schemes self-register (idempotent)."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    import repro.baselines  # noqa: F401  (registers the five comparators)
+    import repro.core.scheme  # noqa: F401  (registers d2-tree)
+
+
+def get(name: str) -> Callable[..., "MetadataScheme"]:
+    """Return the factory registered under ``name``.
+
+    Raises ``KeyError`` with the available roster on an unknown name.
+    """
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {', '.join(available())}"
+        ) from None
+
+
+def available() -> List[str]:
+    """Sorted names of every registered scheme."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def create(name: str, **params) -> "MetadataScheme":
+    """Instantiate the scheme registered under ``name``.
+
+    Keyword arguments are forwarded through :meth:`MetadataScheme.from_params`
+    so ``create(name, **scheme.params())`` round-trips a configuration.
+    """
+    factory = get(name)
+    from_params = getattr(factory, "from_params", None)
+    if from_params is not None:
+        return from_params(params)
+    return factory(**params)
+
+
+def make_all() -> List["MetadataScheme"]:
+    """Fresh default-configured instances of every registered scheme."""
+    return [get(name)() for name in available()]

@@ -32,6 +32,7 @@ from repro.obs.sampler import GaugeSampler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.simulation.faults import FaultEvent, FaultKind, FaultPlan
 from repro.simulation.network import NetworkModel
+from repro.simulation.routing import FastRoutingEngine, make_engine
 from repro.simulation.stats import (
     AvailabilityReport,
     SimulationResult,
@@ -84,6 +85,15 @@ class SimulationConfig:
     heartbeat_interval: float = 0.05
     #: Monitor declares a server dead after this much heartbeat silence.
     heartbeat_timeout: float = 0.15
+    #: Dispatch prefetch window: how many upcoming trace records get their
+    #: namespace lookups resolved per refill. Purely a throughput knob —
+    #: lookups are side-effect-free, so results are byte-identical for any
+    #: value; ``1`` reproduces per-op dispatch exactly.
+    batch_size: int = 64
+    #: Route-planning engine: ``"fast"`` (interned paths + incremental owner
+    #: index) or ``"legacy"`` (string-keyed ancestor walks). Both produce
+    #: identical plans; legacy is kept as the benchmark baseline.
+    routing_engine: str = "fast"
     seed: int = 7
 
 
@@ -106,6 +116,12 @@ class ClusterSimulator:
         self.config = config or SimulationConfig()
         self.tree.ensure_popularity()
         self.placement: Placement = scheme.partition(self.tree, num_servers)
+        #: Route planner (see repro.simulation.routing). Both engines make
+        #: identical decisions; "fast" interns paths and memoises the owner
+        #: index, "legacy" is the string-keyed baseline.
+        self.engine = make_engine(
+            self.config.routing_engine, self.tree, self.placement
+        )
         self.servers = [
             MetadataServer(sid, service_time=self.config.service_time)
             for sid in range(num_servers)
@@ -165,9 +181,14 @@ class ClusterSimulator:
         if self.telemetry.enabled:
             info = self.telemetry.run_info
             info.setdefault("scheme", scheme.name)
+            info.setdefault("scheme_params", scheme.params())
             info.setdefault("trace", self.trace.name)
             info.setdefault("servers", num_servers)
             info.setdefault("seed", self.config.seed)
+            # batch_size is deliberately NOT recorded: it is a pure
+            # throughput knob, and identical headers keep the batched run's
+            # telemetry byte-identical to the per-op run's.
+            info.setdefault("routing_engine", self.engine.name)
             self._register_probes()
 
     def _register_probes(self) -> None:
@@ -207,6 +228,13 @@ class ClusterSimulator:
             ),
             cache="prefix",
         )
+        engine = self.engine
+        if isinstance(engine, FastRoutingEngine):
+            # Deterministic (depends only on the op sequence), so it joins
+            # the sampled series without breaking byte-level reproducibility.
+            self.sampler.add(
+                "owner_index_hit_rate", lambda: engine.hit_rate
+            )
         if isinstance(placement, D2TreePlacement):
             self.sampler.add(
                 "global_layer_size",
@@ -221,74 +249,9 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _plan_d2(self, client: SimClient, node, op: OpType) -> RoutePlan:
-        placement = self.placement
-        assert isinstance(placement, D2TreePlacement)
-        plan = RoutePlan()
-        if placement.is_global(node):
-            # Any replica serves the global layer (Sec. IV-A2); updates
-            # serialise through the lock service and fan out to the other
-            # replicas (all M by default, fewer under a bounded replication
-            # factor).
-            replicas = placement.servers_of(node)
-            entry = client.pick_among(replicas)
-            plan.visits.append(Visit(entry, VisitKind.SERVE))
-            if op is OpType.UPDATE:
-                plan.lock_key = node.path
-                plan.fanout = [s for s in replicas if s != entry]
-            return plan
-        root = placement.subtree_root_of(node)
-        owner = placement.primary_of(root)
-        cached = client.cached_owner(root.path)
-        if cached == owner:
-            plan.visits.append(Visit(owner, VisitKind.SERVE))
-        elif cached >= 0:
-            # Stale local index (the subtree migrated): redirect costs a hop.
-            plan.visits.append(Visit(cached, VisitKind.REDIRECT))
-            plan.visits.append(Visit(owner, VisitKind.SERVE))
-        else:
-            entry = client.pick_any_server()
-            if entry != owner:
-                plan.visits.append(Visit(entry, VisitKind.ENTRY))
-            plan.visits.append(Visit(owner, VisitKind.SERVE))
-        client.learn_owner(root.path, owner)
-        return plan
-
-    def _plan_generic(self, client: SimClient, node, op: OpType) -> RoutePlan:
-        placement = self.placement
-        plan = RoutePlan()
-        last = -1
-        # POSIX traversal: visit each ancestor's server unless this client
-        # verified the prefix recently (client-side permission caching). A
-        # cached-but-stale location (the node migrated) costs a redirect hop.
-        redirected = False
-        for ancestor in node.ancestors():
-            server = placement.primary_of(ancestor)
-            cached = client.cached_prefix_server(ancestor.path)
-            if cached == server:
-                continue
-            if cached >= 0 and cached != last and not redirected:
-                # First stale entry costs a redirect; the serving server then
-                # walks the rest of the path authoritatively.
-                plan.visits.append(Visit(cached, VisitKind.REDIRECT))
-                last = cached
-                redirected = True
-            client.mark_prefix_checked(ancestor.path, server)
-            if server != last:
-                plan.visits.append(Visit(server, VisitKind.TRAVERSAL))
-                last = server
-        target = placement.primary_of(node)
-        if target != last or not plan.visits:
-            plan.visits.append(Visit(target, VisitKind.SERVE))
-        else:
-            plan.visits[-1] = Visit(target, VisitKind.SERVE)
-        return plan
-
     def plan_route(self, client: SimClient, node, op: OpType) -> RoutePlan:
         """Resolve which servers an operation touches."""
-        if isinstance(self.placement, D2TreePlacement):
-            return self._plan_d2(client, node, op)
-        return self._plan_generic(client, node, op)
+        return self.engine.plan(client, node, op)
 
     # ------------------------------------------------------------------
     # Adjustment (heartbeat-driven, mid-replay)
@@ -414,6 +377,9 @@ class ClusterSimulator:
             self.availability.unavailability += now - since
         self.availability.detection_latency[dead] = now - since
         moves = fail_server(self.placement, dead)
+        # Re-homing rewrites ownership wholesale; flush the owner index
+        # rather than trusting version counters to cover every write.
+        self.engine.invalidate()
         self.migrations += len(moves)
         self._charge_migrations(moves)
         self.telemetry.event(
@@ -441,6 +407,7 @@ class ClusterSimulator:
             capacity=self._initial_capacities[sid],
             live=live,
         )
+        self.engine.invalidate()
         self.migrations += len(moves)
         self._charge_migrations(moves)
         self.availability.rejoins += 1
@@ -512,6 +479,9 @@ class ClusterSimulator:
                 "redirects", help="Operations that hit a stale cache entry")
             h_latency = tel.registry.histogram(
                 "op_latency_seconds", help="End-to-end operation latency")
+            h_visits = tel.registry.histogram(
+                "route_plan_visits",
+                help="Server visits per route plan (deterministic plan cost)")
         latencies: List[float] = []
         redirects = 0
         jumps_total = 0
@@ -522,60 +492,78 @@ class ClusterSimulator:
         #: (event_time, tiebreak, op) where op is a mutable dict.
         events: List = []
 
+        # Batched dispatch: namespace lookups for the next ``batch_size``
+        # records are resolved in one tight pass per refill. Lookups are
+        # pure reads of a static tree, so prefetching them never changes
+        # behaviour — placement-dependent decisions (is_placed, CREATE
+        # placement, route planning) stay at dispatch time, which is what
+        # keeps any batch size byte-identical to per-op dispatch.
+        batch_window = max(1, int(cfg.batch_size))
+        prefetched: List = []  # consumed back-to-front (reversed refill)
+        lookup = self.tree.lookup
+
         def dispatch(client: SimClient, start: float) -> bool:
             """Issue the next trace record from this client; False when done."""
             nonlocal next_record
-            while next_record < len(records):
-                record = records[next_record]
-                next_record += 1
-                node = self.tree.lookup(record.path)
-                if node is None:
-                    continue
-                if not self.placement.is_placed(node):
-                    # CREATE (or first touch of a late node): the scheme
-                    # places the newcomer and the owner does the insert.
-                    server = self.scheme.place_created(
-                        self.tree, self.placement, node
-                    )
-                    if self.monitor.is_dead(server):
-                        # The cluster already evicted that server; a real
-                        # client is routed by the authoritative map and
-                        # never creates at an acknowledged-dead MDS.
-                        live = [s.server_id for s in self.servers if s.alive]
-                        if live:
-                            server = live[stable_hash(record.path) % len(live)]
-                            zones = getattr(self.placement, "zone_of", None)
-                            if zones is not None and node in zones:
-                                # Keep the zone map consistent, or a later
-                                # rebuild would resurrect the dead owner.
-                                zones[node] = server
-                            self.placement.assign(node, server)
-                    self.created += 1
-                    plan = RoutePlan(visits=[Visit(server, VisitKind.SERVE)])
-                else:
-                    plan = self.plan_route(client, node, record.op)
-                first_arrival = start + self.network.hop()
-                if plan.lock_key:
-                    first_arrival = self.locks.acquire(
-                        plan.lock_key, first_arrival, cfg.lock_hold_time
-                    )
-                op = {
-                    "client": client,
-                    "plan": plan,
-                    "visit": 0,
-                    "start": start,
-                    "path": record.path,
-                    "op": record.op,
-                }
-                if record_ops:
-                    op["id"] = tel.next_op_id()
-                    tel.event(
-                        "op_start", op["id"], t=start, path=record.path,
-                        type=record.op.value, client=client.client_id,
-                    )
-                heapq.heappush(events, (first_arrival, next(seq), op))
-                return True
-            return False
+            if not prefetched:
+                total = len(records)
+                while not prefetched and next_record < total:
+                    end = min(next_record + batch_window, total)
+                    while next_record < end:
+                        record = records[next_record]
+                        next_record += 1
+                        node = lookup(record.path)
+                        if node is not None:
+                            prefetched.append((record, node))
+                    prefetched.reverse()
+                if not prefetched:
+                    return False
+            record, node = prefetched.pop()
+            if not self.placement.is_placed(node):
+                # CREATE (or first touch of a late node): the scheme
+                # places the newcomer and the owner does the insert.
+                server = self.scheme.place_created(
+                    self.tree, self.placement, node
+                )
+                if self.monitor.is_dead(server):
+                    # The cluster already evicted that server; a real
+                    # client is routed by the authoritative map and
+                    # never creates at an acknowledged-dead MDS.
+                    live = [s.server_id for s in self.servers if s.alive]
+                    if live:
+                        server = live[stable_hash(record.path) % len(live)]
+                        zones = getattr(self.placement, "zone_of", None)
+                        if zones is not None and node in zones:
+                            # Keep the zone map consistent, or a later
+                            # rebuild would resurrect the dead owner.
+                            zones[node] = server
+                        self.placement.assign(node, server)
+                self.created += 1
+                plan = RoutePlan(visits=[Visit(server, VisitKind.SERVE)])
+            else:
+                plan = self.plan_route(client, node, record.op)
+            first_arrival = start + self.network.hop()
+            if plan.lock_key:
+                first_arrival = self.locks.acquire(
+                    plan.lock_key, first_arrival, cfg.lock_hold_time
+                )
+            op = {
+                "client": client,
+                "plan": plan,
+                "visit": 0,
+                "start": start,
+                "path": record.path,
+                "node": node,
+                "op": record.op,
+            }
+            if record_ops:
+                op["id"] = tel.next_op_id()
+                tel.event(
+                    "op_start", op["id"], t=start, path=record.path,
+                    type=record.op.value, client=client.client_id,
+                )
+            heapq.heappush(events, (first_arrival, next(seq), op))
+            return True
 
         for client in self.clients[: cfg.num_clients]:
             if not dispatch(client, 0.0):
@@ -656,8 +644,9 @@ class ClusterSimulator:
                     cfg.retry_backoff_cap,
                     cfg.retry_backoff_base * (2 ** (attempts - 1)),
                 )
-                node = self.tree.lookup(op["path"])
-                fresh = self.plan_route(op["client"], node, op["op"])
+                # The tree is static mid-replay, so the node resolved at
+                # dispatch time is still authoritative — no re-lookup.
+                fresh = self.plan_route(op["client"], op["node"], op["op"])
                 op["plan"] = fresh
                 op["visit"] = 0
                 heapq.heappush(
@@ -693,6 +682,7 @@ class ClusterSimulator:
                 if redirected:
                     m_redirects.inc()
                 h_latency.observe(latency)
+                h_visits.observe(float(len(plan.visits)))
                 tel.op_event(
                     "op_complete", op.get("id"), t=completion,
                     latency=latency, jumps=plan.num_jumps,

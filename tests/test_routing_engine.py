@@ -1,0 +1,224 @@
+"""Routing-engine contracts: parity, owner-index invalidation, batching.
+
+Locks down the properties ``repro.simulation.routing`` documents:
+
+* batch size is a pure throughput knob — simulation results and telemetry
+  bytes are identical across batch sizes, for both engines;
+* for D2-Tree placements the fast engine makes the *same* routing decisions
+  as the legacy planner (same visits, RNG draws and cache statistics);
+* the owner index survives migration, promotion, crash and rejoin without
+  serving stale owners;
+* ``plan_batch`` is exactly a sequential sequence of ``plan`` calls.
+"""
+
+import io
+
+import pytest
+
+from repro import registry
+from repro.cluster.messages import VisitKind
+from repro.obs import Telemetry, write_jsonl
+from repro.simulation import FaultPlan, SimulationConfig
+from repro.simulation.routing import (
+    FastRoutingEngine,
+    LegacyRoutingEngine,
+    make_engine,
+)
+from repro.simulation.runner import ClusterSimulator, simulate
+from repro.traces import DatasetProfile, OpType, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return TraceGenerator(
+        DatasetProfile.dtr(num_nodes=1200, scale=5e-5), num_clients=10
+    ).generate()
+
+
+def _run(workload, scheme_name, telemetry=None, **overrides):
+    config = SimulationConfig(
+        num_clients=20, adjust_every_ops=400, **overrides
+    )
+    return simulate(
+        registry.create(scheme_name), workload, 6, config, telemetry=telemetry
+    )
+
+
+def _telemetry_bytes(workload, scheme_name, **overrides):
+    telemetry = Telemetry()
+    result = _run(workload, scheme_name, telemetry=telemetry, **overrides)
+    buffer = io.StringIO()
+    write_jsonl(telemetry, buffer, summary=result.to_dict())
+    return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Batch size is a pure throughput knob
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme_name", ["d2-tree", "drop"])
+@pytest.mark.parametrize("engine", ["fast", "legacy"])
+def test_batched_matches_per_op(workload, scheme_name, engine):
+    batched = _run(workload, scheme_name, routing_engine=engine)
+    per_op = _run(workload, scheme_name, routing_engine=engine, batch_size=1)
+    assert batched == per_op
+
+
+@pytest.mark.parametrize("scheme_name", ["d2-tree", "static-subtree"])
+def test_batched_telemetry_bytes_identical(workload, scheme_name):
+    """The full telemetry stream — not just the summary — is unaffected."""
+    assert _telemetry_bytes(workload, scheme_name) == _telemetry_bytes(
+        workload, scheme_name, batch_size=1
+    )
+    assert _telemetry_bytes(workload, scheme_name) == _telemetry_bytes(
+        workload, scheme_name, batch_size=7
+    )
+
+
+# ----------------------------------------------------------------------
+# D2: fast engine == legacy engine, including under faults
+# ----------------------------------------------------------------------
+def test_d2_fast_matches_legacy(workload):
+    assert _run(workload, "d2-tree") == _run(
+        workload, "d2-tree", routing_engine="legacy"
+    )
+
+
+def test_d2_fast_matches_legacy_under_crash_and_rejoin(workload):
+    """Crash re-homing and rejoin flush the owner index correctly."""
+    ops = len(workload.trace)
+    plan = FaultPlan.parse(
+        [f"crash:1@ops={ops // 4}", f"recover:1@ops={ops // 2}"]
+    )
+    fast = _run(workload, "d2-tree", fault_plan=plan)
+    legacy = _run(
+        workload, "d2-tree", fault_plan=plan, routing_engine="legacy"
+    )
+    assert fast == legacy
+
+
+# ----------------------------------------------------------------------
+# Owner-index invalidation
+# ----------------------------------------------------------------------
+def _d2_sim(workload):
+    return ClusterSimulator(
+        registry.create("d2-tree"), workload, 6,
+        SimulationConfig(num_clients=10, adjust_every_ops=0),
+    )
+
+
+def test_owner_index_follows_migration(workload):
+    sim = _d2_sim(workload)
+    assert isinstance(sim.engine, FastRoutingEngine)
+    client = sim.clients[0]
+    root = next(iter(sim.placement.subtree_owner))
+    old_owner = sim.placement.subtree_owner[root]
+    sim.plan_route(client, root, OpType.READ)  # warm the client cache
+    new_owner = (old_owner + 1) % sim.placement.num_servers
+    sim.placement.move_subtree(root, new_owner)
+    plan = sim.plan_route(client, root, OpType.READ)
+    # The stale client entry costs a redirect, but the index itself must
+    # already point at the new owner.
+    assert plan.visits[0].kind is VisitKind.REDIRECT
+    assert plan.visits[0].server == old_owner
+    assert plan.visits[-1].server == new_owner
+    follow_up = sim.plan_route(client, root, OpType.READ)
+    assert [v.server for v in follow_up.visits] == [new_owner]
+
+
+def test_owner_index_follows_promotion(workload):
+    sim = _d2_sim(workload)
+    client = sim.clients[0]
+    root = max(
+        sim.placement.subtree_owner,
+        key=lambda node: len(node.children),
+    )
+    sim.plan_route(client, root, OpType.READ)
+    sim.placement.promote_subtree(root)
+    plan = sim.plan_route(client, root, OpType.READ)
+    # Now global: any replica serves it in one hop, no redirect.
+    assert len(plan.visits) == 1
+    assert plan.visits[0].kind is VisitKind.SERVE
+    assert plan.visits[0].server in sim.placement.servers_of(root)
+
+
+def test_invalidate_flushes_to_correct_state(workload):
+    sim = _d2_sim(workload)
+    client = sim.clients[0]
+    root = next(iter(sim.placement.subtree_owner))
+    sim.plan_route(client, root, OpType.READ)
+    new_owner = (sim.placement.subtree_owner[root] + 2) % 6
+    sim.placement.move_subtree(root, new_owner)
+    sim.engine.invalidate()
+    plan = sim.plan_route(client, root, OpType.READ)
+    assert plan.visits[-1].server == new_owner
+
+
+def test_index_survives_structure_mutation(workload):
+    """A tree mutation re-interns the PathTable transparently."""
+    sim = _d2_sim(workload)
+    client = sim.clients[0]
+    node = sim.tree.add_path("/fresh/subdir/file.txt")
+    sim.scheme.place_created(sim.tree, sim.placement, node)
+    plan = sim.plan_route(client, node, OpType.READ)
+    assert plan.visits[-1].kind is VisitKind.SERVE
+    assert plan.visits[-1].server == sim.placement.primary_of(node)
+
+
+# ----------------------------------------------------------------------
+# plan_batch
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme_name", ["d2-tree", "drop"])
+def test_plan_batch_equals_sequential_plans(workload, scheme_name):
+    tree = workload.tree
+    tree.ensure_popularity()
+
+    def build():
+        placement = registry.create(scheme_name).partition(tree, 6)
+        engine = make_engine("fast", tree, placement)
+        sim_clients = ClusterSimulator(
+            registry.create(scheme_name), workload, 6,
+            SimulationConfig(num_clients=5, adjust_every_ops=0),
+        ).clients
+        ops = [
+            (sim_clients[i % 5], node, record.op)
+            for i, record in enumerate(workload.trace.records[:500])
+            if (node := tree.lookup(record.path)) is not None
+        ]
+        return engine, ops
+
+    engine_a, ops_a = build()
+    engine_b, ops_b = build()
+    sequential = [engine_a.plan(c, n, o) for c, n, o in ops_a]
+    batched = []
+    for base in range(0, len(ops_b), 64):
+        batched.extend(engine_b.plan_batch(ops_b[base : base + 64]))
+    assert [p.visits for p in sequential] == [p.visits for p in batched]
+    assert [p.fanout for p in sequential] == [p.fanout for p in batched]
+    assert engine_a.hits == engine_b.hits
+    assert engine_a.misses == engine_b.misses
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def test_make_engine_rejects_unknown_name(workload):
+    tree = workload.tree
+    tree.ensure_popularity()
+    placement = registry.create("drop").partition(tree, 4)
+    assert isinstance(
+        make_engine("legacy", tree, placement), LegacyRoutingEngine
+    )
+    with pytest.raises(ValueError):
+        make_engine("warp", tree, placement)
+
+
+def test_hit_rate_counts_owner_index_lookups(workload):
+    sim = _d2_sim(workload)
+    client = sim.clients[0]
+    root = next(iter(sim.placement.subtree_owner))
+    assert sim.engine.hit_rate == 0.0
+    sim.plan_route(client, root, OpType.READ)
+    assert sim.engine.misses == 1
+    sim.plan_route(client, root, OpType.READ)
+    assert sim.engine.hits == 1
+    assert sim.engine.hit_rate == 0.5
