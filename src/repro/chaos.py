@@ -1,0 +1,416 @@
+"""Chaos invariant harness: randomized fault schedules + safety checks.
+
+``repro chaos`` replays one trace many times, each run under a different
+seeded random fault schedule (crashes, recoveries, gray failures, heartbeat
+mutes, message loss, delay, network partitions, Monitor crashes), then
+drives the cluster to quiescence and checks the safety invariants the
+metadata service must uphold no matter what the network did:
+
+1. **Single live ownership** — every placed metadata node is owned by at
+   least one server, and no owner is dead (for local-layer subtrees that
+   means *exactly one* live owner; replicated global-layer nodes keep a
+   non-empty live replica set).
+2. **No subtree lost** — every namespace node is placed somewhere
+   (placements plus the transient pending pool; constraint Eq. 4).
+3. **Epoch monotonicity** — the committed directive journal's leadership
+   epochs never decrease, and no MDS fence is ahead of the Monitor group's
+   epoch (the split-brain guard).
+4. **Accounting balance** — every operation handed to a client either
+   completed or was abandoned after retry exhaustion:
+   ``issued == completed + failed``.
+
+Every schedule is generated from the case seed alone, and each event
+round-trips through the ``--fault`` grammar — on a violation the harness
+dumps the exact ``repro simulate --fault ...`` invocation that replays the
+failing run deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro import registry
+from repro.placement import DEAD_CAPACITY
+from repro.simulation.faults import FaultEvent, FaultPlan
+from repro.simulation.network import mds_addr
+from repro.simulation.runner import ClusterSimulator, SimulationConfig
+from repro.traces.generator import GeneratedWorkload
+
+__all__ = [
+    "CHAOS_HEARTBEAT_INTERVAL",
+    "CHAOS_HEARTBEAT_TIMEOUT",
+    "CHAOS_LEASE_TIMEOUT",
+    "ChaosCase",
+    "ChaosReport",
+    "generate_plan",
+    "run_case",
+    "run_chaos",
+]
+
+#: Chaos runs replay short traces (sub-second makespans), so detection and
+#: lease clocks are tightened to fit several detection and election windows
+#: inside one run. The CLI's replay dump passes the same values to
+#: ``repro simulate`` so a violating schedule reproduces exactly.
+CHAOS_HEARTBEAT_INTERVAL = 0.01
+CHAOS_HEARTBEAT_TIMEOUT = 0.03
+CHAOS_LEASE_TIMEOUT = 0.05
+
+
+# ----------------------------------------------------------------------
+# Schedule generation
+# ----------------------------------------------------------------------
+
+#: Fault kinds the generator draws from, with selection weights. Partition
+#: and crash dominate because they exercise the interesting machinery
+#: (eviction, re-homing, fencing, failover); the rest add background noise.
+_KIND_WEIGHTS = (
+    ("crash", 3),
+    ("partition", 3),
+    ("drop_heartbeats", 2),
+    ("loss", 2),
+    ("fail_slow", 1),
+    ("delay", 1),
+    ("monitor_crash", 2),
+)
+
+
+def _partition_spec(
+    rng: random.Random, num_servers: int, num_monitors: int
+) -> str:
+    """Random two-sided split of the cluster interconnect (group text)."""
+    left = sorted(rng.sample(range(num_servers), rng.randint(1, num_servers - 1)))
+    right = [s for s in range(num_servers) if s not in left]
+    sides = [
+        [str(s) for s in left],
+        [str(s) for s in right],
+    ]
+    for replica in range(num_monitors):
+        sides[rng.randrange(2)].append(f"m{replica}")
+    return "|".join("{" + ",".join(side) + "}" for side in sides)
+
+
+def generate_plan(
+    seed: int,
+    total_ops: int,
+    num_servers: int,
+    num_monitors: int,
+) -> FaultPlan:
+    """Seeded random fault schedule for one chaos case.
+
+    The schedule is *closed*: every degradation (crash, mute, loss, delay,
+    gray failure, partition, Monitor crash) gets a matching recovery event
+    later in the run, triggered by completed-op count so the whole schedule
+    replays deterministically through ``repro simulate --fault``. Concurrent
+    crashes are capped below a majority of the cluster so re-homing always
+    has somewhere to go. Under heavy faults the closing events may never
+    trigger (completions stall); the harness's explicit quiescence pass
+    covers that tail.
+    """
+    if num_servers < 3:
+        raise ValueError("chaos schedules need at least three servers")
+    if total_ops < 40:
+        raise ValueError("chaos schedules need at least 40 operations")
+    rng = random.Random((seed << 16) ^ 0x5EED)
+    open_lo = max(1, total_ops // 20)
+    open_hi = max(open_lo + 1, total_ops * 11 // 20)
+    close_hi = max(open_hi + 2, total_ops * 3 // 4)
+    gap = max(1, total_ops // 10)
+    kinds = [kind for kind, _ in _KIND_WEIGHTS]
+    weights = [weight for _, weight in _KIND_WEIGHTS]
+    max_down = max(1, (num_servers - 1) // 2)
+    crash_windows: List[tuple] = []
+    specs: List[str] = []
+    for _ in range(rng.randint(3, 6)):
+        kind = rng.choices(kinds, weights=weights)[0]
+        start = rng.randint(open_lo, open_hi)
+        stop = rng.randint(min(start + gap, close_hi - 1), close_hi)
+        if kind == "partition":
+            groups = _partition_spec(rng, num_servers, num_monitors)
+            specs.append(f"partition:{groups}@ops={start}")
+            specs.append(f"heal:{groups}@ops={stop}")
+            continue
+        if kind == "monitor_crash":
+            replica = rng.randrange(num_monitors)
+            specs.append(f"monitor_crash:{replica}@ops={start}")
+            specs.append(f"monitor_recover:{replica}@ops={stop}")
+            continue
+        server = rng.randrange(num_servers)
+        if kind == "crash":
+            overlapping = sum(
+                1 for lo, hi in crash_windows if lo < stop and start < hi
+            )
+            if overlapping >= max_down:
+                kind = "fail_slow"  # keep a serving majority
+            else:
+                crash_windows.append((start, stop))
+        suffix = ""
+        if kind == "fail_slow":
+            suffix = f":x{rng.choice((2, 4, 8))}"
+        elif kind == "loss":
+            suffix = f":p{rng.choice((0.1, 0.25, 0.5))}"
+        elif kind == "delay":
+            suffix = f":d{rng.choice((0.001, 0.005, 0.02))}"
+        specs.append(f"{kind}:{server}@ops={start}{suffix}")
+        specs.append(f"recover:{server}@ops={stop}")
+    return FaultPlan(FaultEvent.parse(spec) for spec in specs)
+
+
+# ----------------------------------------------------------------------
+# Quiescence + invariants
+# ----------------------------------------------------------------------
+
+def _quiesce(sim: ClusterSimulator, makespan: float) -> float:
+    """Drive the cluster to a steady state after the trace drained.
+
+    Heals every partition, restarts every Monitor replica, rejoins every
+    degraded or still-evicted server, then runs a few heartbeat rounds so
+    membership settles. Returns the final simulated time. Invariants are
+    only meaningful *after* this — mid-partition the cluster is allowed to
+    be degraded; what it may never do is stay broken once the faults clear.
+    """
+    cfg = sim.config
+    now = makespan + cfg.heartbeat_interval
+    sim.network.heal(None)
+    for replica in range(sim.monitor.num_replicas):
+        sim.monitor.recover_monitor(replica, now)
+    sim.monitor.tick(now)
+    if not sim.monitor.can_commit():  # pragma: no cover - defensive
+        now += sim.monitor.lease_timeout + cfg.heartbeat_interval
+        sim.monitor.tick(now)
+    for server in sim.servers:
+        sid = server.server_id
+        if (
+            not server.alive
+            or sim.monitor.is_dead(sid)
+            or sim.placement.capacities[sid] <= DEAD_CAPACITY
+        ):
+            sim._recover_server(sid, now)
+        else:
+            server.slow_factor = 1.0
+            if server.muted:
+                server.muted = False
+            sim.network.clear_endpoint(mds_addr(sid))
+    for _ in range(3):
+        now += cfg.heartbeat_interval
+        sim._heartbeat_round(now)
+    return now
+
+
+def _check_invariants(sim: ClusterSimulator, result) -> List[str]:
+    """Safety checks against the quiesced cluster; returns violations."""
+    violations: List[str] = []
+    placement = sim.placement
+
+    # 1. Single live ownership: no placed node owned by a dead server, no
+    #    empty replica sets. Post-quiescence everything is alive, so any
+    #    dead owner is state that survived recovery — exactly the bug class
+    #    (resurrected pre-crash assignments) fencing exists to prevent.
+    dead = {s for s, cap in enumerate(placement.capacities) if cap <= DEAD_CAPACITY}
+    dead.update(s.server_id for s in sim.servers if not s.alive)
+    bad_owner: List[str] = []
+    empty: List[str] = []
+    for node in placement.placed_nodes():
+        servers = placement.servers_of(node)
+        if not servers:
+            empty.append(node.path)
+        elif dead.intersection(servers):
+            bad_owner.append(node.path)
+    if empty:
+        violations.append(
+            f"ownership: {len(empty)} nodes with an empty replica set "
+            f"(e.g. {empty[:3]})"
+        )
+    if bad_owner:
+        violations.append(
+            f"ownership: {len(bad_owner)} nodes owned by a dead server "
+            f"{sorted(dead)} (e.g. {bad_owner[:3]})"
+        )
+
+    # 2. No subtree lost (Eq. 4 completeness over placements + pool).
+    missing = [n.path for n in sim.tree if not placement.is_placed(n)]
+    if missing:
+        violations.append(
+            f"completeness: {len(missing)} namespace nodes unplaced "
+            f"(e.g. {missing[:3]})"
+        )
+
+    # 3. Epoch monotonicity: journalled epochs never decrease and no MDS
+    #    fence ran ahead of the group's epoch.
+    if not sim.monitor.journal.epochs_monotone():
+        violations.append("epochs: committed directive epochs regressed")
+    for server in sim.servers:
+        if server.fence_epoch > sim.monitor.epoch:
+            violations.append(
+                f"epochs: server {server.server_id} fence "
+                f"{server.fence_epoch} ahead of monitor epoch "
+                f"{sim.monitor.epoch}"
+            )
+
+    # 4. Accounting balance: every issued op completed or failed.
+    issued = sim.ops_issued
+    completed = result.operations
+    failed = result.availability.failed_operations
+    if completed + failed != issued:
+        violations.append(
+            f"accounting: issued={issued} but completed={completed} "
+            f"+ failed={failed} = {completed + failed}"
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Case + report
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChaosCase:
+    """Outcome of one seeded chaos run."""
+
+    seed: int
+    specs: List[str]
+    violations: List[str]
+    operations: int = 0
+    failed_operations: int = 0
+    retries: int = 0
+    epoch: int = 1
+    failovers: int = 0
+    fenced_directives: int = 0
+    aborted_directives: int = 0
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "faults": list(self.specs),
+            "violations": list(self.violations),
+            "operations": self.operations,
+            "failed_operations": self.failed_operations,
+            "retries": self.retries,
+            "epoch": self.epoch,
+            "failovers": self.failovers,
+            "fenced_directives": self.fenced_directives,
+            "aborted_directives": self.aborted_directives,
+            "messages_dropped": self.messages_dropped,
+            "messages_delayed": self.messages_delayed,
+        }
+
+    def replay_args(self) -> List[str]:
+        """The ``--fault`` arguments reproducing this case's schedule."""
+        args: List[str] = []
+        for spec in self.specs:
+            args.extend(["--fault", spec])
+        return args
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate over all chaos cases of one invocation."""
+
+    scheme: str
+    trace: str
+    num_servers: int
+    num_monitors: int
+    cases: List[ChaosCase] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[ChaosCase]:
+        return [case for case in self.cases if not case.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "trace": self.trace,
+            "num_servers": self.num_servers,
+            "num_monitors": self.num_monitors,
+            "seeds": len(self.cases),
+            "ok": self.ok,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+
+def run_case(
+    scheme_name: str,
+    workload: GeneratedWorkload,
+    num_servers: int,
+    seed: int,
+    num_monitors: int = 3,
+    routing_engine: str = "fast",
+    plan: Optional[FaultPlan] = None,
+) -> ChaosCase:
+    """One seeded chaos run: schedule, replay, quiesce, check."""
+    if plan is None:
+        plan = generate_plan(
+            seed, len(workload.trace), num_servers, num_monitors
+        )
+    scheme = registry.create(scheme_name)
+    # Tight clocks (see the module constants): without them a crashed
+    # leader would simply outlive the short trace and failover would never
+    # be exercised.
+    config = SimulationConfig(
+        seed=seed,
+        fault_plan=plan,
+        num_monitors=num_monitors,
+        routing_engine=routing_engine,
+        heartbeat_interval=CHAOS_HEARTBEAT_INTERVAL,
+        heartbeat_timeout=CHAOS_HEARTBEAT_TIMEOUT,
+        monitor_lease_timeout=CHAOS_LEASE_TIMEOUT,
+    )
+    sim = ClusterSimulator(scheme, workload, num_servers, config)
+    result = sim.run()
+    _quiesce(sim, result.makespan)
+    violations = _check_invariants(sim, result)
+    return ChaosCase(
+        seed=seed,
+        specs=plan.to_specs(),
+        violations=violations,
+        operations=result.operations,
+        failed_operations=result.availability.failed_operations,
+        retries=result.availability.retries,
+        epoch=sim.monitor.epoch,
+        failovers=sim.monitor.failovers,
+        fenced_directives=sum(s.fenced_directives for s in sim.servers),
+        aborted_directives=sim.monitor.aborted_directives,
+        messages_dropped=sim.network.messages_dropped,
+        messages_delayed=sim.network.messages_delayed,
+    )
+
+
+def run_chaos(
+    scheme_name: str,
+    workload: GeneratedWorkload,
+    num_servers: int,
+    seeds: Sequence[int],
+    num_monitors: int = 3,
+    routing_engine: str = "fast",
+) -> ChaosReport:
+    """Run one chaos case per seed and aggregate the outcomes."""
+    report = ChaosReport(
+        scheme=scheme_name,
+        trace=workload.trace.name,
+        num_servers=num_servers,
+        num_monitors=num_monitors,
+    )
+    for seed in seeds:
+        report.cases.append(
+            run_case(
+                scheme_name,
+                workload,
+                num_servers,
+                seed,
+                num_monitors=num_monitors,
+                routing_engine=routing_engine,
+            )
+        )
+    return report

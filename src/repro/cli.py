@@ -119,12 +119,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="route planner implementation (default fast; "
                           "legacy is the pre-index per-op planner kept as "
                           "the benchmark baseline)")
+    sim.add_argument("--max-ops", type=int, default=None,
+                     help="truncate the trace to this many operations "
+                          "(what `repro chaos --ops` replays)")
     sim.add_argument("--fault", action="append", default=[], metavar="SPEC",
-                     help="inject a fault: kind:server@ops=N or "
-                          "kind:server@t=SEC, kind one of crash, recover, "
-                          "fail_slow (:xF for the slowdown factor), "
-                          "drop_heartbeats; repeatable "
-                          "(e.g. --fault crash:2@ops=1000)")
+                     help="inject a fault: kind:target@ops=N or "
+                          "kind:target@t=SEC, kind one of crash, recover, "
+                          "fail_slow (:xF slowdown factor), "
+                          "drop_heartbeats, loss (:pP drop probability), "
+                          "delay (:dS mean extra seconds), "
+                          "partition / heal (target is the group spec, "
+                          "e.g. 'partition:{0,1}|{2,3,m0}@t=2.0'; 'heal:*' "
+                          "removes every partition), monitor_crash / "
+                          "monitor_recover (target is a Monitor replica); "
+                          "repeatable (e.g. --fault crash:2@ops=1000); "
+                          "see docs/CHAOS.md for the full grammar")
+    sim.add_argument("--monitors", type=int, default=None,
+                     help="Monitor group size: 1 leader + N-1 standbys with "
+                          "lease failover and epoch fencing (default 1, the "
+                          "singleton Monitor)")
     sim.add_argument("--max-retries", type=int, default=None,
                      help="client retry budget before an op counts as failed")
     sim.add_argument("--heartbeat-interval", type=float, default=None,
@@ -133,6 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--heartbeat-timeout", type=float, default=None,
                      help="heartbeat silence before the Monitor declares a "
                           "server dead (simulated seconds)")
+    sim.add_argument("--monitor-lease-timeout", type=float, default=None,
+                     help="leadership lease: a standby takes over after the "
+                          "leader has been dead or quorumless this long "
+                          "(simulated seconds; default 2x heartbeat-timeout)")
     sim.add_argument("--json", action="store_true",
                      help="emit a JSON array of full SimulationResult "
                           "serializations instead of formatted rows")
@@ -169,6 +186,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "equivalence checks")
     bench.add_argument("--out", metavar="FILE", default="BENCH_throughput.json",
                        help="report path (default BENCH_throughput.json)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault schedules + safety invariant checks",
+    )
+    add_workload_args(chaos)
+    chaos.add_argument("--servers", type=int, default=6)
+    chaos.add_argument("--scheme", choices=registry.available(),
+                       default="d2-tree",
+                       help="scheme under test (default d2-tree)")
+    chaos.add_argument("--seeds", type=int, default=20,
+                       help="number of seeded chaos cases (default 20)")
+    chaos.add_argument("--seed-base", type=int, default=0,
+                       help="first case seed; cases use seed-base..+seeds-1")
+    chaos.add_argument("--monitors", type=int, default=3,
+                       help="Monitor group size (default 3: leader + 2 "
+                            "standbys, so leader loss exercises failover)")
+    chaos.add_argument("--ops", type=int, default=None,
+                       help="truncate the trace to this many operations")
+    chaos.add_argument("--routing-engine", choices=["fast", "legacy"],
+                       default="fast")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full ChaosReport as JSON")
 
     fig = sub.add_parser("figure", help="regenerate a figure's data as CSV")
     fig.add_argument("name", choices=["fig5", "fig6", "fig7"],
@@ -255,6 +295,10 @@ def cmd_simulate(args) -> int:
     from repro.simulation import FaultPlan, SimulationConfig
 
     workload = _workload(args)
+    if args.max_ops is not None:
+        workload = dataclasses.replace(
+            workload, trace=workload.trace.slice(0, args.max_ops)
+        )
     overrides = {}
     if args.fault:
         try:
@@ -262,12 +306,16 @@ def cmd_simulate(args) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    if args.monitors is not None:
+        overrides["num_monitors"] = args.monitors
     if args.max_retries is not None:
         overrides["max_retries"] = args.max_retries
     if args.heartbeat_interval is not None:
         overrides["heartbeat_interval"] = args.heartbeat_interval
     if args.heartbeat_timeout is not None:
         overrides["heartbeat_timeout"] = args.heartbeat_timeout
+    if args.monitor_lease_timeout is not None:
+        overrides["monitor_lease_timeout"] = args.monitor_lease_timeout
     if args.batch_size is not None:
         overrides["batch_size"] = args.batch_size
     if args.routing_engine is not None:
@@ -317,6 +365,92 @@ def cmd_simulate(args) -> int:
                 print(result.availability.describe())
     if args.json:
         print(json.dumps(results_json, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.chaos import (
+        CHAOS_HEARTBEAT_INTERVAL,
+        CHAOS_HEARTBEAT_TIMEOUT,
+        CHAOS_LEASE_TIMEOUT,
+        ChaosReport,
+        run_case,
+    )
+
+    # Each case regenerates the workload with the case seed, so one seed
+    # fully determines workload + fault schedule + simulator RNGs — the
+    # dumped `repro simulate --seed N --fault ...` replay is exact.
+    base_profile = _profile(args)
+    report = ChaosReport(
+        scheme=args.scheme,
+        trace=args.trace,
+        num_servers=args.servers,
+        num_monitors=args.monitors,
+    )
+    try:
+        for seed in range(args.seed_base, args.seed_base + args.seeds):
+            workload = load_workload(
+                dataclasses.replace(base_profile, seed=seed)
+            )
+            if args.ops is not None:
+                workload = dataclasses.replace(
+                    workload, trace=workload.trace.slice(0, args.ops)
+                )
+            report.cases.append(
+                run_case(
+                    args.scheme,
+                    workload,
+                    args.servers,
+                    seed,
+                    num_monitors=args.monitors,
+                    routing_engine=args.routing_engine,
+                )
+            )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for case in report.cases:
+            status = "ok " if case.ok else "FAIL"
+            print(
+                f"seed={case.seed:<4d} {status} "
+                f"faults={len(case.specs):<2d} ops={case.operations} "
+                f"failed={case.failed_operations} retries={case.retries} "
+                f"epoch={case.epoch} failovers={case.failovers} "
+                f"dropped={case.messages_dropped}"
+            )
+        print(
+            f"{report.scheme} {report.trace} M={report.num_servers} "
+            f"monitors={report.num_monitors}: "
+            f"{len(report.cases) - len(report.violations)}/"
+            f"{len(report.cases)} seeds clean"
+        )
+    if not report.ok:
+        # Dump exact replay commands so every violation reproduces
+        # deterministically outside the harness.
+        for case in report.violations:
+            print(f"\nseed {case.seed} violated invariants:", file=sys.stderr)
+            for violation in case.violations:
+                print(f"  - {violation}", file=sys.stderr)
+            replay_parts = [
+                "repro simulate",
+                f"--trace {args.trace} --nodes {args.nodes}",
+                f"--scale {args.scale:g}",
+                f"--servers {args.servers} --scheme {args.scheme}",
+                f"--monitors {args.monitors}",
+                f"--routing-engine {args.routing_engine}",
+                f"--seed {case.seed}",
+                f"--heartbeat-interval {CHAOS_HEARTBEAT_INTERVAL:g}",
+                f"--heartbeat-timeout {CHAOS_HEARTBEAT_TIMEOUT:g}",
+                f"--monitor-lease-timeout {CHAOS_LEASE_TIMEOUT:g}",
+            ]
+            if args.ops is not None:
+                replay_parts.append(f"--max-ops {args.ops}")
+            replay = " ".join(replay_parts + case.replay_args())
+            print(f"  replay: {replay}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -451,6 +585,7 @@ COMMANDS = {
     "evaluate": cmd_evaluate,
     "simulate": cmd_simulate,
     "bench": cmd_bench,
+    "chaos": cmd_chaos,
     "figure": cmd_figure,
     "stats": cmd_stats,
     "report": cmd_report,

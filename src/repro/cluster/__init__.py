@@ -5,16 +5,26 @@ from repro.cluster.client import SimClient
 from repro.cluster.failure import fail_server, rejoin_server, surviving_capacities
 from repro.cluster.locks import LockManager
 from repro.cluster.mds import MetadataServer
-from repro.cluster.messages import Heartbeat, OperationOutcome, RoutePlan, Visit, VisitKind
-from repro.cluster.monitor import Monitor
+from repro.cluster.messages import (
+    Directive,
+    Heartbeat,
+    OperationOutcome,
+    RoutePlan,
+    Visit,
+    VisitKind,
+)
+from repro.cluster.monitor import Monitor, MonitorGroup, PlacementJournal
 
 __all__ = [
+    "Directive",
     "Heartbeat",
     "LRUCache",
     "LockManager",
     "MetadataServer",
     "Monitor",
+    "MonitorGroup",
     "OperationOutcome",
+    "PlacementJournal",
     "RoutePlan",
     "SimClient",
     "VersionedEntry",

@@ -41,17 +41,38 @@ class SimClient:
         self._rng = random.Random((seed << 20) ^ client_id)
         # Bound method cached for the routing fast path (one draw per
         # global-layer op; the extra attribute hop is measurable there).
-        self._randbelow = self._rng._randbelow
+        # getrandbits is public API — unlike the Random._randbelow bound
+        # method cached here previously, which was an interpreter
+        # implementation detail.
+        self._getrandbits = self._rng.getrandbits
         self.operations = 0
         self.redirects = 0
 
+    def randbelow(self, n: int) -> int:
+        """Uniform draw in ``[0, n)`` through the public ``getrandbits`` API.
+
+        Modulo-free rejection sampling over ``n.bit_length()`` bits — the
+        exact algorithm ``Random.randrange`` delegates to — so this consumes
+        the same underlying bit stream and produces draw-for-draw identical
+        sequences (``tests/test_cluster.py`` locks that down), without
+        touching the private ``_randbelow`` method.
+        """
+        if n <= 0:
+            raise ValueError("randbelow needs a positive bound")
+        getrandbits = self._getrandbits
+        k = n.bit_length()
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        return r
+
     def pick_any_server(self) -> int:
         """Random MDS choice (global-layer queries go anywhere)."""
-        return self._rng.randrange(self.num_servers)
+        return self.randbelow(self.num_servers)
 
     def pick_among(self, servers) -> int:
         """Random choice from a replica set (bounded global layers)."""
-        return servers[self._rng.randrange(len(servers))]
+        return servers[self.randbelow(len(servers))]
 
     def cached_owner(self, root_path: str) -> int:
         """Believed owner of a subtree root, or -1 when unknown."""

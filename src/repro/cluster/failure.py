@@ -62,12 +62,23 @@ def fail_server(placement: Placement, dead: int) -> List[Migration]:
     # the cluster.
     placement.capacities[dead] = DEAD_CAPACITY
 
+    alive = [
+        s for s, cap in enumerate(placement.capacities) if cap > DEAD_CAPACITY
+    ]
+
     if isinstance(placement, D2TreePlacement):
         # Global layer: drop the dead replica (the remaining replicas keep
         # serving it). Deriving survivors from the *current* replica sets
-        # keeps earlier failures excluded too.
+        # keeps earlier failures excluded too. When cascading failures kill
+        # a node's *last* replica, it is re-seeded across the live set —
+        # the global layer must never lose its only copy (if no server is
+        # left alive the stale set stays; rejoins will top it back up).
         for node in placement.split.global_layer:
             remaining = [s for s in placement.servers_of(node) if s != dead]
+            if not remaining:
+                if not alive:
+                    continue
+                remaining = alive
             placement.replicate(node, remaining)
         live = {
             s
@@ -102,7 +113,10 @@ def fail_server(placement: Placement, dead: int) -> List[Migration]:
                 migrations.append(Migration(root, dead, target))
         return migrations
 
-    survivors = [s for s in range(placement.num_servers) if s != dead]
+    # Prefer servers that are actually alive; under cascading failures the
+    # index-based complement may itself contain earlier casualties (falling
+    # back to it only when nothing is left alive).
+    survivors = alive or [s for s in range(placement.num_servers) if s != dead]
     if isinstance(placement, DynamicSubtreePlacement):
         # Zone-granular re-homing keeps the "one zone, one server" invariant
         # intact: each of the dead server's zones is re-hashed as a unit and

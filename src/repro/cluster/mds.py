@@ -49,6 +49,13 @@ class MetadataServer:
         self.slow_factor = 1.0
         #: Drop-heartbeats fault: the server serves but stops heartbeating.
         self.muted = False
+        #: Highest Monitor-leadership epoch this server has applied a
+        #: directive from. Deliberately NOT reset by :meth:`recover` — the
+        #: fence must survive a crash/rejoin cycle, or a directive issued by
+        #: a since-deposed leader could resurrect pre-crash ownership.
+        self.fence_epoch = 0
+        #: Directives rejected by the epoch fence (stale-leader attempts).
+        self.fenced_directives = 0
 
     # ------------------------------------------------------------------
     def process(self, arrival: float, work: float = 1.0) -> float:
@@ -77,6 +84,22 @@ class MetadataServer:
     def drop_counter(self, path: str) -> None:
         """Forget a counter (after migrating the subtree away)."""
         self._counters.pop(path, None)
+
+    # ------------------------------------------------------------------
+    def accept_directive(self, epoch: int) -> bool:
+        """Epoch fence: apply a Monitor directive only if it is not stale.
+
+        Returns True (and ratchets the fence forward) for directives from
+        the current or a newer leadership epoch; a directive stamped with an
+        older epoch — a deposed leader on the wrong side of a partition —
+        is rejected so it can never reintroduce ownership the newer epoch
+        already moved elsewhere.
+        """
+        if epoch < self.fence_epoch:
+            self.fenced_directives += 1
+            return False
+        self.fence_epoch = epoch
+        return True
 
     # ------------------------------------------------------------------
     def fail(self) -> None:

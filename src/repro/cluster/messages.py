@@ -4,9 +4,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, NamedTuple
+from typing import Any, List, NamedTuple, Tuple
 
-__all__ = ["VisitKind", "Visit", "RoutePlan", "Heartbeat", "OperationOutcome"]
+__all__ = [
+    "VisitKind",
+    "Visit",
+    "RoutePlan",
+    "Heartbeat",
+    "Directive",
+    "OperationOutcome",
+]
 
 
 class VisitKind(enum.Enum):
@@ -58,6 +65,37 @@ class Heartbeat:
     time: float
     load: float
     relative_capacity: float
+
+
+@dataclass(frozen=True)
+class Directive:
+    """An epoch-stamped Monitor→MDS instruction (the fencing unit).
+
+    Every placement-changing decision the Monitor group commits — failure
+    re-homes, rejoins, rebalance rounds, leader elections — is journalled as
+    a directive stamped with the leadership epoch in force when it was
+    committed. An MDS tracks the highest epoch it has applied and rejects
+    directives from older epochs (see ``MetadataServer.accept_directive``),
+    so a leader deposed by a partition cannot retroactively move subtrees:
+    split-brain double-ownership is fenced off at the receiver.
+    """
+
+    epoch: int
+    kind: str                     # "mark_dead" | "rehome" | "rejoin" | ...
+    #: Primary MDS the directive concerns (-1 for cluster-wide directives).
+    server: int = -1
+    #: Simulated commit time.
+    t: float = 0.0
+    #: Sorted free-form payload (move counts, elected leader, ...).
+    info: Tuple[Tuple[str, Any], ...] = ()
+
+    def to_record(self) -> dict:
+        """JSON-ready form (journal dumps and chaos reports)."""
+        record = {"epoch": self.epoch, "kind": self.kind, "t": self.t}
+        if self.server >= 0:
+            record["server"] = self.server
+        record.update(self.info)
+        return record
 
 
 @dataclass

@@ -11,14 +11,14 @@ hold possibly-stale copies) and decides when to trigger a rebalance round.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.placement import MetadataScheme, Migration, Placement
-from repro.cluster.messages import Heartbeat
+from repro.cluster.messages import Directive, Heartbeat
 from repro.core.namespace import NamespaceTree
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 
-__all__ = ["Monitor"]
+__all__ = ["Monitor", "MonitorGroup", "PlacementJournal"]
 
 
 class Monitor:
@@ -125,6 +125,23 @@ class Monitor:
         """Latest heartbeat-reported load per server."""
         return dict(self._latest_load)
 
+    def restore(self, acknowledged_dead: Iterable[int], now: float) -> None:
+        """Adopt journalled membership state after a leadership takeover.
+
+        A standby that wins the lease inherits the *replicated* state — the
+        acknowledged-dead set reconstructed from the directive journal — but
+        not the old leader's heartbeat clocks (those were its private,
+        unreplicated observations). Every registered server gets a fresh
+        grace period from ``now``, so detection restarts conservatively
+        instead of instantly evicting servers the new leader simply has not
+        heard from yet.
+        """
+        self._acknowledged_dead = set(acknowledged_dead)
+        self._last_heartbeat.clear()
+        self._latest_load.clear()
+        for server in list(self._registered_at):
+            self._registered_at[server] = now
+
     # ------------------------------------------------------------------
     def rebalance(self) -> List[Migration]:
         """Run one adjustment round through the scheme's policy."""
@@ -139,3 +156,334 @@ class Monitor:
         if node is None or not self.placement.is_placed(node):
             return None
         return self.placement.primary_of(node)
+
+
+class PlacementJournal:
+    """Append-only log of committed directives plus a snapshot cursor.
+
+    The journal is the Monitor group's replication mechanism: a directive is
+    *committed* by appending it here (which models a synchronous quorum
+    write), so any standby that later wins the lease can reconstruct the
+    authoritative membership state — which servers are evicted, what moved
+    where, in which epoch — by replaying from the last snapshot.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[Directive] = []
+        self._snapshot_index = 0
+
+    def append(self, directive: Directive) -> None:
+        """Commit one directive (quorum responsibility lies with the caller)."""
+        self.entries.append(directive)
+
+    def snapshot(self) -> int:
+        """Mark the current tail as compacted; returns the cursor."""
+        self._snapshot_index = len(self.entries)
+        return self._snapshot_index
+
+    def since_snapshot(self) -> List[Directive]:
+        """Entries appended after the last snapshot (the replay suffix)."""
+        return self.entries[self._snapshot_index:]
+
+    def acknowledged_dead(self) -> Set[int]:
+        """Replay membership: servers evicted and not since rejoined."""
+        dead: Set[int] = set()
+        for directive in self.entries:
+            if directive.kind == "mark_dead":
+                dead.add(directive.server)
+            elif directive.kind in ("rejoin", "mark_alive"):
+                dead.discard(directive.server)
+        return dead
+
+    def epochs_monotone(self) -> bool:
+        """True when committed epochs never decrease (the fencing invariant)."""
+        last = 0
+        for directive in self.entries:
+            if directive.epoch < last:
+                return False
+            last = directive.epoch
+        return True
+
+    def server_epochs(self, server: int) -> List[int]:
+        """Epochs of the directives that touched ``server``, in log order."""
+        return [d.epoch for d in self.entries if d.server == server]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Directive]:
+        return iter(self.entries)
+
+
+class MonitorGroup:
+    """A replicated Monitor: one leader plus standbys with lease failover.
+
+    Mirrors what Ceph does to the component the paper borrows (the OSD
+    monitor): the singleton Monitor of Sec. IV-A3 becomes a small replicated
+    group so losing the box that runs it no longer freezes failure detection
+    and the pending pool forever. The moving parts:
+
+    * **Leadership + lease.** Replica ``leader`` drives detection and
+      rebalancing. When it crashes or loses its quorum (a partition), the
+      lease runs out after ``lease_timeout`` simulated seconds and the
+      lowest-numbered live replica that *can* reach a quorum takes over.
+    * **Epochs.** Every takeover bumps ``epoch``. Directives are stamped
+      with the committing epoch; MDSs fence out older epochs
+      (``MetadataServer.accept_directive``), so a deposed leader cannot
+      retroactively move subtrees — no split-brain double-ownership.
+    * **Quorum gating.** A directive only commits when the leader reaches a
+      majority of replicas over the (possibly partitioned) network. A
+      minority-side leader keeps running but all its decisions abort, which
+      is the write-side half of the fencing story.
+    * **Journal.** Committed directives land in a :class:`PlacementJournal`;
+      a takeover replays it to recover the acknowledged-dead set and resumes
+      with fresh heartbeat grace periods (:meth:`Monitor.restore`).
+
+    With one replica and no network faults the group degrades to exactly the
+    old singleton Monitor: epoch stays 1, every quorum check is trivially
+    true, and the delegated behaviour is byte-identical.
+    """
+
+    def __init__(
+        self,
+        scheme: MetadataScheme,
+        tree: NamespaceTree,
+        placement: Placement,
+        replicas: int = 1,
+        heartbeat_timeout: float = 30.0,
+        lease_timeout: Optional[float] = None,
+        expected_servers: Optional[Iterable[int]] = None,
+        registered_at: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
+        network=None,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("a Monitor group needs at least one replica")
+        self.num_replicas = replicas
+        self.replica_alive: List[bool] = [True] * replicas
+        self.leader = 0
+        self.epoch = 1
+        self.heartbeat_timeout = heartbeat_timeout
+        self.lease_timeout = (
+            lease_timeout if lease_timeout is not None else 2.0 * heartbeat_timeout
+        )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: The SimNetwork carrying mon↔mon traffic (None = always reachable).
+        self.network = network
+        self.journal = PlacementJournal()
+        self.state = Monitor(
+            scheme,
+            tree,
+            placement,
+            heartbeat_timeout=heartbeat_timeout,
+            expected_servers=expected_servers,
+            registered_at=registered_at,
+            telemetry=telemetry,
+        )
+        self._leader_lost_at: Optional[float] = None
+        self.failovers = 0
+        #: Directives that failed to commit for lack of a quorum.
+        self.aborted_directives = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def leader_addr(self) -> str:
+        """Network endpoint of the current leader (heartbeat destination)."""
+        return f"mon:{self.leader}"
+
+    def _reaches_quorum(self, replica: int) -> bool:
+        """Can ``replica`` assemble a majority (itself included)?"""
+        if not self.replica_alive[replica]:
+            return False
+        if self.num_replicas == 1:
+            return True
+        votes = 0
+        src = f"mon:{replica}"
+        for other in range(self.num_replicas):
+            if not self.replica_alive[other]:
+                continue
+            if other == replica or self.network is None or self.network.reachable(
+                src, f"mon:{other}"
+            ):
+                votes += 1
+        return votes >= self.num_replicas // 2 + 1
+
+    def can_commit(self) -> bool:
+        """True while the leader is alive and holds a quorum."""
+        return self._reaches_quorum(self.leader)
+
+    # ------------------------------------------------------------------
+    # Lease / failover
+    # ------------------------------------------------------------------
+    def tick(self, now: float) -> bool:
+        """Advance the lease clock; returns True when leadership changed.
+
+        Called on the heartbeat grid. While the leader is healthy the lease
+        renews implicitly. Once it has been dead or quorumless for longer
+        than ``lease_timeout``, the lowest-numbered live replica that can
+        reach a quorum takes over: epoch bumps, an ``elect`` directive is
+        journalled, and the membership state is restored from the journal
+        with fresh detection grace.
+        """
+        if self.can_commit():
+            self._leader_lost_at = None
+            return False
+        if self._leader_lost_at is None:
+            self._leader_lost_at = now
+            return False
+        if now - self._leader_lost_at < self.lease_timeout:
+            return False
+        candidate = next(
+            (
+                replica
+                for replica in range(self.num_replicas)
+                if self._reaches_quorum(replica)
+            ),
+            None,
+        )
+        if candidate is None:
+            return False  # no electable replica; keep waiting
+        old_leader = self.leader
+        self.leader = candidate
+        self.epoch += 1
+        self.failovers += 1
+        self._leader_lost_at = None
+        self.journal.append(
+            Directive(
+                epoch=self.epoch, kind="elect", server=-1, t=now,
+                info=(("from", old_leader), ("to", candidate)),
+            )
+        )
+        self.state.restore(self.journal.acknowledged_dead(), now)
+        self.telemetry.event(
+            "monitor_failover", t=now, epoch=self.epoch,
+            new_leader=candidate, old_leader=old_leader,
+        )
+        return True
+
+    def crash_monitor(self, replica: int, now: float = 0.0) -> None:
+        """Fault injection: Monitor replica ``replica`` stops."""
+        if not 0 <= replica < self.num_replicas:
+            raise ValueError(f"no Monitor replica {replica}")
+        if self.replica_alive[replica]:
+            self.replica_alive[replica] = False
+            self.telemetry.event("monitor_crash", t=now, replica=replica)
+
+    def recover_monitor(self, replica: int, now: float = 0.0) -> None:
+        """Fault injection: a crashed Monitor replica restarts (as standby,
+        unless it still holds the leadership and regains its quorum)."""
+        if not 0 <= replica < self.num_replicas:
+            raise ValueError(f"no Monitor replica {replica}")
+        if not self.replica_alive[replica]:
+            self.replica_alive[replica] = True
+            self.telemetry.event("monitor_recover", t=now, replica=replica)
+
+    # ------------------------------------------------------------------
+    # Directive commit (the quorum write path)
+    # ------------------------------------------------------------------
+    def issue(
+        self, kind: str, now: float, server: int = -1, **info: Any
+    ) -> Optional[Directive]:
+        """Commit an epoch-stamped directive, or None without a quorum."""
+        if not self.can_commit():
+            self.aborted_directives += 1
+            self.telemetry.event(
+                "directive_aborted", t=now, directive=kind, server=server,
+                epoch=self.epoch,
+            )
+            return None
+        directive = Directive(
+            epoch=self.epoch, kind=kind, server=server, t=now,
+            info=tuple(sorted(info.items())),
+        )
+        self.journal.append(directive)
+        return directive
+
+    # ------------------------------------------------------------------
+    # Delegated Monitor surface (the singleton API, leader-gated)
+    # ------------------------------------------------------------------
+    def on_heartbeat(self, heartbeat: Heartbeat) -> bool:
+        """Record a heartbeat at the leader; False when the leader is down.
+
+        Network faults (partitions, loss, mutes) are applied by the caller
+        routing the message through ``SimNetwork.deliver`` — this method
+        models only the receiving end.
+        """
+        if not self.replica_alive[self.leader]:
+            return False
+        self.state.on_heartbeat(heartbeat)
+        return True
+
+    def detect_failures(self, now: float) -> List[int]:
+        """Leader-side detection; silent without a committable leader."""
+        if not self.can_commit():
+            return []
+        return self.state.detect_failures(now)
+
+    def mark_dead(self, server: int, now: float = 0.0) -> None:
+        """Acknowledge a detected failure and journal the eviction."""
+        self.state.mark_dead(server)
+        self.journal.append(
+            Directive(epoch=self.epoch, kind="mark_dead", server=server, t=now)
+        )
+
+    def mark_alive(self, server: int, now: float = 0.0) -> None:
+        """Clear a death mark and journal the readmission."""
+        if self.state.is_dead(server):
+            self.journal.append(
+                Directive(
+                    epoch=self.epoch, kind="mark_alive", server=server, t=now
+                )
+            )
+        self.state.mark_alive(server)
+
+    def is_dead(self, server: int) -> bool:
+        """True for servers whose failure has been acknowledged."""
+        return self.state.is_dead(server)
+
+    def expect(self, server: int, now: float = 0.0) -> None:
+        """Register a cluster member (a rejoin or a newly added MDS)."""
+        self.state.expect(server, now)
+
+    def last_seen(self, server: int) -> Optional[float]:
+        """Last heartbeat time for ``server`` (None if never heard from)."""
+        return self.state.last_seen(server)
+
+    def reported_loads(self) -> Dict[int, float]:
+        """Latest heartbeat-reported load per server."""
+        return self.state.reported_loads()
+
+    def rebalance(self, now: float = 0.0) -> List[Migration]:
+        """One adjustment round — aborted (no moves) without a quorum."""
+        if not self.can_commit():
+            self.aborted_directives += 1
+            self.telemetry.event(
+                "rebalance_skipped", t=now, epoch=self.epoch,
+                leader=self.leader,
+            )
+            return []
+        migrations = self.state.rebalance()
+        if migrations:
+            self.journal.append(
+                Directive(
+                    epoch=self.epoch, kind="rebalance", server=-1, t=now,
+                    info=(("moves", len(migrations)),),
+                )
+            )
+        return migrations
+
+    def owner_of_subtree(self, root_path: str) -> Optional[int]:
+        """Authoritative owner lookup (what the local index caches)."""
+        return self.state.owner_of_subtree(root_path)
+
+    @property
+    def rebalances(self) -> int:
+        """Adjustment rounds run (delegated to the replicated state)."""
+        return self.state.rebalances
+
+    @property
+    def total_migrations(self) -> int:
+        """Total migrations across all adjustment rounds."""
+        return self.state.total_migrations

@@ -26,6 +26,17 @@ TIMELINE_EVENTS = (
     "fault_recover",
     "fault_fail_slow",
     "fault_drop_heartbeats",
+    "fault_loss",
+    "fault_delay",
+    "fault_partition",
+    "fault_heal",
+    "fault_monitor_crash",
+    "fault_monitor_recover",
+    "monitor_crash",
+    "monitor_recover",
+    "monitor_failover",
+    "directive_aborted",
+    "rebalance_skipped",
     "failure_detected",
     "server_rejoined",
     "adjust_round",

@@ -2,7 +2,13 @@
 
 from repro.simulation.engine import ClientPool, ResourceTimeline
 from repro.simulation.faults import FaultEvent, FaultKind, FaultPlan
-from repro.simulation.network import NetworkModel
+from repro.simulation.network import (
+    CLIENT_ADDR,
+    NetworkModel,
+    SimNetwork,
+    mds_addr,
+    mon_addr,
+)
 from repro.simulation.runner import (
     BalanceTrajectory,
     ClusterSimulator,
@@ -18,6 +24,7 @@ from repro.simulation.stats import (
 )
 
 __all__ = [
+    "CLIENT_ADDR",
     "AvailabilityReport",
     "BalanceTrajectory",
     "ClientPool",
@@ -28,8 +35,11 @@ __all__ = [
     "LatencySummary",
     "NetworkModel",
     "ResourceTimeline",
+    "SimNetwork",
     "SimulationConfig",
     "SimulationResult",
+    "mds_addr",
+    "mon_addr",
     "replay_rounds",
     "simulate",
     "summarize_latencies",

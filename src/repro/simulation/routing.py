@@ -291,10 +291,11 @@ class FastRoutingEngine:
                 replicas = placement._servers_of[node]
                 self._replicas[nid] = replicas
                 self._replica_stamp[nid] = version
-            # pick_among, inlined. Random.randrange(n) delegates straight
-            # to Random._randbelow(n), so this consumes the exact same
-            # draw from the client RNG stream as the legacy planner.
-            entry = replicas[client._randbelow(len(replicas))]
+            # pick_among, inlined. SimClient.randbelow mirrors the
+            # rejection sampling Random.randrange performs internally, so
+            # this consumes the exact same draw from the client RNG stream
+            # as the legacy planner.
+            entry = replicas[client.randbelow(len(replicas))]
             if op is not _UPDATE:
                 try:
                     return serve_plans[entry]

@@ -23,7 +23,7 @@ from repro.cluster.failure import fail_server, rejoin_server
 from repro.cluster.locks import LockManager
 from repro.cluster.mds import MetadataServer
 from repro.cluster.messages import Heartbeat, RoutePlan, Visit, VisitKind
-from repro.cluster.monitor import Monitor
+from repro.cluster.monitor import MonitorGroup
 from repro.core.namespace import NamespaceTree
 from repro.core.partition import D2TreePlacement
 from repro.metrics.balance import balance_degree
@@ -31,7 +31,7 @@ from repro.cluster.cache import LRUCache
 from repro.obs.sampler import GaugeSampler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.simulation.faults import FaultEvent, FaultKind, FaultPlan
-from repro.simulation.network import NetworkModel
+from repro.simulation.network import SimNetwork, mds_addr, mon_addr
 from repro.simulation.routing import FastRoutingEngine, make_engine
 from repro.simulation.stats import (
     AvailabilityReport,
@@ -85,6 +85,13 @@ class SimulationConfig:
     heartbeat_interval: float = 0.05
     #: Monitor declares a server dead after this much heartbeat silence.
     heartbeat_timeout: float = 0.15
+    #: Monitor group size: 1 leader + (num_monitors - 1) standbys. One
+    #: replica reproduces the singleton Monitor exactly; more buy failover
+    #: (with epoch fencing) when monitor_crash faults or partitions hit.
+    num_monitors: int = 1
+    #: Leadership lease: a standby takes over after the leader has been dead
+    #: or quorumless this long (default 2x heartbeat_timeout).
+    monitor_lease_timeout: Optional[float] = None
     #: Dispatch prefetch window: how many upcoming trace records get their
     #: namespace lookups resolved per refill. Purely a throughput knob —
     #: lookups are side-effect-free, so results are byte-identical for any
@@ -127,7 +134,12 @@ class ClusterSimulator:
             for sid in range(num_servers)
         ]
         self.locks = LockManager(acquire_latency=self.config.lock_acquire_latency)
-        self.network = NetworkModel(hop_latency=self.config.hop_latency)
+        #: Lossy, partitionable fabric. With no faults installed it degrades
+        #: to the constant-latency model (zero RNG draws), so fault-free runs
+        #: stay byte-identical to the legacy NetworkModel.
+        self.network = SimNetwork(
+            hop_latency=self.config.hop_latency, seed=self.config.seed
+        )
         self.clients = [
             SimClient(
                 cid,
@@ -139,15 +151,22 @@ class ClusterSimulator:
             for cid in range(self.config.num_clients)
         ]
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self.monitor = Monitor(
+        self.network.bind_telemetry(self.telemetry)
+        self.monitor = MonitorGroup(
             scheme,
             self.tree,
             self.placement,
+            replicas=self.config.num_monitors,
             heartbeat_timeout=self.config.heartbeat_timeout,
+            lease_timeout=self.config.monitor_lease_timeout,
             expected_servers=range(num_servers),
             telemetry=self.telemetry,
+            network=self.network,
         )
         self.created = 0
+        #: Trace records handed to clients (completed + failed + in flight);
+        #: the chaos harness balances this against the availability ledger.
+        self.ops_issued = 0
         # Late-created nodes (OpType.CREATE extension) do not exist at
         # partition time: their assignments are forgotten and each scheme
         # places them on first sight.
@@ -228,6 +247,9 @@ class ClusterSimulator:
             ),
             cache="prefix",
         )
+        self.sampler.add(
+            "monitor_epoch", lambda: float(self.monitor.epoch)
+        )
         engine = self.engine
         if isinstance(engine, FastRoutingEngine):
             # Deterministic (depends only on the op sequence), so it joins
@@ -273,9 +295,18 @@ class ClusterSimulator:
         loads = self.placement.loads()
         total_cap = sum(self.placement.capacities)
         mu = sum(loads) / total_cap if total_cap > 0 else 0.0
+        net = self.network
+        leader_addr = self.monitor.leader_addr
         for server in self.servers:
-            if not server.alive or server.muted:
+            if not server.alive:
                 continue
+            # Load reports traverse the real network: mutes
+            # (drop_heartbeats), partitions and loss all silence them
+            # through the one shared code path.
+            if net.faulty:
+                arrival = net.deliver(mds_addr(server.server_id), leader_addr, now)
+                if arrival is None:
+                    continue
             load = server.load_report(now)
             relative = loads[server.server_id] - mu * self.placement.capacities[
                 server.server_id
@@ -283,7 +314,7 @@ class ClusterSimulator:
             self.monitor.on_heartbeat(
                 Heartbeat(server.server_id, now, load, relative)
             )
-        moves = self.monitor.rebalance()
+        moves = self.monitor.rebalance(now)
         self.migrations += len(moves)
         self._charge_migrations(moves)
         if self.telemetry.enabled:
@@ -315,31 +346,82 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     # Fault injection (Sec. IV-A3: failure detection and recovery)
     # ------------------------------------------------------------------
+    def _partition_endpoints(self, event: FaultEvent):
+        """Map a partition event's member tokens onto network endpoints."""
+        return [
+            tuple(
+                mon_addr(int(token[1:])) if token.startswith("m")
+                else mds_addr(int(token))
+                for token in group
+            )
+            for group in (event.groups or ())
+        ]
+
     def _fire_fault(self, event: FaultEvent, now: float) -> None:
         """Apply one scheduled fault event at sim time ``now``."""
         self.telemetry.set_time(now)
+        kind = event.kind
+        if kind is FaultKind.PARTITION:
+            self.network.partition(
+                event.partition_name, self._partition_endpoints(event)
+            )
+            self.availability.partitions += 1
+            self.telemetry.event(
+                "fault_partition", t=now, partition=event.partition_name,
+            )
+            return
+        if kind is FaultKind.HEAL:
+            self.network.heal(event.partition_name)
+            self.telemetry.event(
+                "fault_heal", t=now, partition=event.partition_name or "*",
+            )
+            return
+        if kind is FaultKind.MONITOR_CRASH:
+            self.monitor.crash_monitor(event.server, now)
+            self.telemetry.event(
+                "fault_monitor_crash", t=now, replica=event.server,
+            )
+            return
+        if kind is FaultKind.MONITOR_RECOVER:
+            self.monitor.recover_monitor(event.server, now)
+            self.telemetry.event(
+                "fault_monitor_recover", t=now, replica=event.server,
+            )
+            return
         server = self.servers[event.server]
-        if event.kind is FaultKind.CRASH:
+        if kind is FaultKind.CRASH:
             if server.alive:
                 server.fail()
                 self._crashed_at[event.server] = now
                 self.availability.crashes += 1
                 self.telemetry.event("fault_crash", t=now, server=event.server)
-        elif event.kind is FaultKind.RECOVER:
+        elif kind is FaultKind.RECOVER:
             self._recover_server(event.server, now)
-        elif event.kind is FaultKind.FAIL_SLOW:
+        elif kind is FaultKind.FAIL_SLOW:
             server.slow_factor = event.factor
             self.telemetry.event(
                 "fault_fail_slow", t=now, server=event.server,
                 factor=event.factor,
             )
-        elif event.kind is FaultKind.DROP_HEARTBEATS:
+        elif kind is FaultKind.DROP_HEARTBEATS:
             if not server.muted:
                 server.muted = True
+                self.network.mute(mds_addr(event.server))
                 self._muted_at[event.server] = now
                 self.telemetry.event(
                     "fault_drop_heartbeats", t=now, server=event.server,
                 )
+        elif kind is FaultKind.LOSS:
+            self.network.set_loss(mds_addr(event.server), event.probability)
+            self.telemetry.event(
+                "fault_loss", t=now, server=event.server,
+                probability=event.probability,
+            )
+        elif kind is FaultKind.DELAY:
+            self.network.set_delay(mds_addr(event.server), event.delay)
+            self.telemetry.event(
+                "fault_delay", t=now, server=event.server, delay=event.delay,
+            )
 
     def _heartbeat_round(self, now: float) -> None:
         """Liveness heartbeats plus failure detection.
@@ -350,18 +432,40 @@ class ClusterSimulator:
         rejoined this round is never re-declared dead.
         """
         self.telemetry.set_time(now)
+        net = self.network
+        leader_addr = self.monitor.leader_addr
         live = 0
+        rejoined: List[int] = []
         for server in self.servers:
-            if server.alive and not server.muted:
-                self.monitor.on_heartbeat(
-                    Heartbeat(server.server_id, now, float(server.served), 0.0)
-                )
-                live += 1
+            if not server.alive:
+                continue
+            if net.faulty:
+                arrival = net.deliver(mds_addr(server.server_id), leader_addr, now)
+                if arrival is None:
+                    continue
+            was_dead = self.monitor.is_dead(server.server_id)
+            delivered = self.monitor.on_heartbeat(
+                Heartbeat(server.server_id, now, float(server.served), 0.0)
+            )
+            if not delivered:
+                continue
+            live += 1
+            if was_dead:
+                # A heartbeat from an acknowledged-dead server: it was
+                # falsely evicted (partition, mute) or crashed and came
+                # back — either way it rejoins once the beat gets through.
+                rejoined.append(server.server_id)
         if self.telemetry.enabled:
             self.telemetry.event("heartbeat_round", t=now, live=live)
             self.sampler.snapshot(now)
+        # Lease clock: a dead or quorumless leader is eventually replaced
+        # (epoch bump + journal replay) before detection runs, so a fresh
+        # leader starts with full heartbeat grace instead of mass-evicting.
+        self.monitor.tick(now)
+        for sid in rejoined:
+            self._recover_server(sid, now)
         for dead in self.monitor.detect_failures(now):
-            self.monitor.mark_dead(dead)
+            self.monitor.mark_dead(dead, now)
             self._rehome_failed(dead, now)
 
     def _rehome_failed(self, dead: int, now: float) -> None:
@@ -382,6 +486,15 @@ class ClusterSimulator:
         self.engine.invalidate()
         self.migrations += len(moves)
         self._charge_migrations(moves)
+        # The eviction is an epoch-stamped directive: every receiving MDS
+        # ratchets its fence forward, so a later directive from a deposed
+        # leader (an older epoch) can no longer move these subtrees.
+        directive = self.monitor.issue(
+            "rehome", now, server=dead, moves=len(moves)
+        )
+        if directive is not None:
+            for move in moves:
+                self.servers[move.target].accept_directive(directive.epoch)
         self.telemetry.event(
             "failure_detected", t=now, server=dead,
             latency=now - since, false_positive=server.alive,
@@ -398,9 +511,25 @@ class ClusterSimulator:
         else:
             server.slow_factor = 1.0
             server.muted = False
+        self.network.clear_endpoint(mds_addr(sid))
         self._muted_at.pop(sid, None)
-        self.monitor.mark_alive(sid)
+        # Rejoining is a placement change, so it needs a committed,
+        # epoch-stamped directive. Without a quorum (leader on the wrong
+        # side of a partition) the server is locally up but stays evicted;
+        # the next heartbeat that reaches a committable leader retries the
+        # rejoin through the auto-rejoin path in _heartbeat_round.
+        directive = self.monitor.issue("rejoin", now, server=sid)
+        if directive is None:
+            self.monitor.state.mark_dead(sid)
+            return
+        self.monitor.mark_alive(sid, now)
         self.monitor.expect(sid, now)
+        # Epoch fence: the rejoining server applies the directive only if
+        # it is not stale. A stale rejoin (issued by a deposed leader)
+        # must not resurrect the pre-crash subtree assignments that a newer
+        # epoch already re-homed.
+        if not server.accept_directive(directive.epoch):
+            return
         live = [s.server_id for s in self.servers if s.alive]
         moves = rejoin_server(
             self.placement, sid,
@@ -482,6 +611,10 @@ class ClusterSimulator:
             h_visits = tel.registry.histogram(
                 "route_plan_visits",
                 help="Server visits per route plan (deterministic plan cost)")
+            h_client_retries = tel.registry.histogram(
+                "client_retries",
+                help="Retry attempts per finished operation "
+                     "(completed or abandoned)")
         latencies: List[float] = []
         redirects = 0
         jumps_total = 0
@@ -501,6 +634,52 @@ class ClusterSimulator:
         batch_window = max(1, int(cfg.batch_size))
         prefetched: List = []  # consumed back-to-front (reversed refill)
         lookup = self.tree.lookup
+        network = self.network
+
+        def retry_op(op: Dict, now: float, server: int) -> None:
+            """Client timeout path: back off and retry, or give up.
+
+            Shared by every loss mode — a request to a crashed server, a
+            send the network dropped, a forward cut by a partition. The op
+            id is stable across attempts, which is what makes the retry
+            idempotent: a completed operation is counted exactly once no
+            matter how many sends it took.
+            """
+            attempts = op.get("attempts", 0) + 1
+            op["attempts"] = attempts
+            if attempts > cfg.max_retries:
+                # Retry budget exhausted: the operation *fails* instead
+                # of looping forever; the client moves on.
+                self.availability.failed_operations += 1
+                if tel_on:
+                    m_failed.inc()
+                    h_client_retries.observe(float(attempts))
+                    tel.op_event(
+                        "op_failed", op.get("id"), t=now,
+                        server=server, attempts=attempts,
+                    )
+                dispatch(op["client"], now + cfg.failover_latency)
+                return
+            self.availability.retries += 1
+            if tel_on:
+                m_retries.inc()
+                tel.op_event(
+                    "op_retry", op.get("id"), t=now,
+                    server=server, attempt=attempts,
+                )
+            backoff = min(
+                cfg.retry_backoff_cap,
+                cfg.retry_backoff_base * (2 ** (attempts - 1)),
+            )
+            # The tree is static mid-replay, so the node resolved at
+            # dispatch time is still authoritative — no re-lookup.
+            fresh = self.plan_route(op["client"], op["node"], op["op"])
+            op["plan"] = fresh
+            op["visit"] = 0
+            heapq.heappush(
+                events,
+                (now + cfg.failover_latency + backoff, next(seq), op),
+            )
 
         def dispatch(client: SimClient, start: float) -> bool:
             """Issue the next trace record from this client; False when done."""
@@ -519,6 +698,7 @@ class ClusterSimulator:
                 if not prefetched:
                     return False
             record, node = prefetched.pop()
+            self.ops_issued += 1
             if not self.placement.is_placed(node):
                 # CREATE (or first touch of a late node): the scheme
                 # places the newcomer and the owner does the insert.
@@ -542,10 +722,19 @@ class ClusterSimulator:
                 plan = RoutePlan(visits=[Visit(server, VisitKind.SERVE)])
             else:
                 plan = self.plan_route(client, node, record.op)
-            first_arrival = start + self.network.hop()
-            if plan.lock_key:
-                first_arrival = self.locks.acquire(
-                    plan.lock_key, first_arrival, cfg.lock_hold_time
+            # The hop tick always fires first (it keeps the fault-free path
+            # byte-identical); fault adjustment only ever adds to or drops
+            # the already-computed arrival.
+            first_arrival = start + network.hop()
+            if network.faulty:
+                arrival = network.client_arrival(
+                    plan.visits[0].server, first_arrival
+                )
+            else:
+                arrival = first_arrival
+            if arrival is not None and plan.lock_key:
+                arrival = self.locks.acquire(
+                    plan.lock_key, arrival, cfg.lock_hold_time
                 )
             op = {
                 "client": client,
@@ -562,7 +751,12 @@ class ClusterSimulator:
                     "op_start", op["id"], t=start, path=record.path,
                     type=record.op.value, client=client.client_id,
                 )
-            heapq.heappush(events, (first_arrival, next(seq), op))
+            if arrival is None:
+                # The send was lost (loss fault): the client times out and
+                # retries like any other failed attempt.
+                retry_op(op, start, plan.visits[0].server)
+                return True
+            heapq.heappush(events, (arrival, next(seq), op))
             return True
 
         for client in self.clients[: cfg.num_clients]:
@@ -577,12 +771,7 @@ class ClusterSimulator:
                 FaultEvent(FaultKind.CRASH, dead, at_ops=int(at_ops))
             )
         plan_all = FaultPlan(fault_events)
-        for event in plan_all:
-            if event.server >= self.num_servers:
-                raise ValueError(
-                    f"fault targets server {event.server} but the cluster "
-                    f"only has servers 0..{self.num_servers - 1}"
-                )
+        plan_all.validate(self.num_servers, num_monitors=cfg.num_monitors)
         ops_faults = plan_all.by_ops()
         time_faults = plan_all.by_time()
         ops_cursor = 0
@@ -619,47 +808,25 @@ class ClusterSimulator:
                 # retries against the placement — which still routes to the
                 # dead server until the Monitor detects the failure and
                 # re-homes its metadata (the degraded window).
-                attempts = op.get("attempts", 0) + 1
-                op["attempts"] = attempts
-                if attempts > cfg.max_retries:
-                    # Retry budget exhausted: the operation *fails* instead
-                    # of looping forever; the client moves on.
-                    self.availability.failed_operations += 1
-                    if tel_on:
-                        m_failed.inc()
-                        tel.op_event(
-                            "op_failed", op.get("id"), t=now,
-                            server=visit.server, attempts=attempts,
-                        )
-                    dispatch(op["client"], now + cfg.failover_latency)
-                    continue
-                self.availability.retries += 1
-                if tel_on:
-                    m_retries.inc()
-                    tel.op_event(
-                        "op_retry", op.get("id"), t=now,
-                        server=visit.server, attempt=attempts,
-                    )
-                backoff = min(
-                    cfg.retry_backoff_cap,
-                    cfg.retry_backoff_base * (2 ** (attempts - 1)),
-                )
-                # The tree is static mid-replay, so the node resolved at
-                # dispatch time is still authoritative — no re-lookup.
-                fresh = self.plan_route(op["client"], op["node"], op["op"])
-                op["plan"] = fresh
-                op["visit"] = 0
-                heapq.heappush(
-                    events,
-                    (now + cfg.failover_latency + backoff, next(seq), op),
-                )
+                retry_op(op, now, visit.server)
                 continue
             end = server.process(now)
             if visit.kind is VisitKind.SERVE:
                 server.record_access(op["path"], end)
             op["visit"] += 1
             if op["visit"] < len(plan.visits):
-                heapq.heappush(events, (end + self.network.hop(), next(seq), op))
+                next_server = plan.visits[op["visit"]].server
+                base = end + network.hop()
+                if network.faulty:
+                    base = network.server_arrival(
+                        visit.server, next_server, base
+                    )
+                    if base is None:
+                        # The forward crossed a partition (or was lost):
+                        # the client times out and retries the whole op.
+                        retry_op(op, end, next_server)
+                        continue
+                heapq.heappush(events, (base, next(seq), op))
                 continue
             # Final visit done: fan out replica writes asynchronously (the
             # lock orders writers; version/lease checks cover readers, so the
@@ -683,6 +850,7 @@ class ClusterSimulator:
                     m_redirects.inc()
                 h_latency.observe(latency)
                 h_visits.observe(float(len(plan.visits)))
+                h_client_retries.observe(float(op.get("attempts", 0)))
                 tel.op_event(
                     "op_complete", op.get("id"), t=completion,
                     latency=latency, jumps=plan.num_jumps,

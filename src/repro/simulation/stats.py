@@ -88,6 +88,11 @@ class AvailabilityReport:
     failed_operations: int = 0
     #: Client retries caused by timing out against a dead server.
     retries: int = 0
+    #: Network partitions installed during the replay. Deliberately not part
+    #: of :meth:`to_dict` — the serialized form predates the network model
+    #: and stays stable for downstream consumers (and byte-level regression
+    #: tests); the chaos harness reads the attribute directly.
+    partitions: int = 0
     #: server -> seconds between losing the server and the Monitor evicting it.
     detection_latency: Dict[int, float] = field(default_factory=dict)
     #: server -> seconds between the crash and the rejoin completing.

@@ -210,3 +210,64 @@ def test_report_missing_file(tmp_path, capsys):
     err = capsys.readouterr().err
     assert code == 2
     assert "error" in err
+
+
+def test_chaos_command_clean_run(capsys):
+    code, out = run(
+        capsys, "chaos", "--trace", "lmbe", "--nodes", "600",
+        "--scale", "5e-5", "--servers", "4", "--seeds", "2", "--ops", "120",
+    )
+    assert code == 0
+    lines = out.strip().splitlines()
+    assert lines[0].startswith("seed=0") and lines[1].startswith("seed=1")
+    assert lines[-1].endswith("2/2 seeds clean")
+
+
+def test_chaos_command_json(capsys):
+    import json
+
+    code, out = run(
+        capsys, "chaos", "--trace", "lmbe", "--nodes", "600",
+        "--scale", "5e-5", "--servers", "4", "--seeds", "1", "--ops", "120",
+        "--json",
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["ok"] and payload["seeds"] == 1
+    case = payload["cases"][0]
+    assert case["faults"] and case["violations"] == []
+    # Every dumped fault spec round-trips through the --fault grammar.
+    from repro.simulation import FaultPlan
+
+    assert FaultPlan.parse(case["faults"]).to_specs() == case["faults"]
+
+
+def test_simulate_partition_and_monitors_flags(capsys):
+    import json
+
+    code, out = run(
+        capsys, "simulate", "--trace", "dtr", "--nodes", "600",
+        "--scale", "1e-5", "--servers", "4", "--scheme", "d2-tree",
+        "--monitors", "3", "--max-ops", "80", "--seed", "2",
+        "--heartbeat-interval", "0.01", "--heartbeat-timeout", "0.03",
+        "--monitor-lease-timeout", "0.05",
+        "--fault", "partition:{0,1}|{2,3,m0}@ops=20",
+        "--fault", "heal:*@ops=60", "--json",
+    )
+    assert code == 0
+    results = json.loads(out)
+    result = results[0] if isinstance(results, list) else results
+    # 80 sliced ops, all accounted for despite the partition window.
+    total = result["operations"] + result["availability"]["failed_operations"]
+    assert total == 80
+
+
+def test_simulate_rejects_invalid_fault_target(capsys):
+    code = main([
+        "simulate", "--trace", "dtr", "--nodes", "600", "--scale", "1e-5",
+        "--servers", "4", "--scheme", "d2-tree",
+        "--fault", "crash:9@ops=50",
+    ])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "crash:9@ops=50" in err

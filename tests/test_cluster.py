@@ -246,6 +246,30 @@ def test_client_stats():
     assert client.redirects == 1
 
 
+def test_randbelow_matches_stdlib_draw_for_draw():
+    # randbelow reimplements Random._randbelow's rejection sampling through
+    # the public getrandbits API; both must consume the identical bit stream
+    # and yield the identical sequence, including awkward non-power-of-two
+    # bounds that trigger rejections.
+    import random as stdlib_random
+
+    for seed in (0, 1, 7):
+        for n in (1, 2, 3, 5, 7, 16, 100, 1023):
+            client = SimClient(3, num_servers=4, seed=seed)
+            reference = stdlib_random.Random((seed << 20) ^ 3)
+            ours = [client.randbelow(n) for _ in range(200)]
+            theirs = [reference.randrange(n) for _ in range(200)]
+            assert ours == theirs, (seed, n)
+
+
+def test_randbelow_rejects_nonpositive_bounds():
+    client = SimClient(0, num_servers=4)
+    with pytest.raises(ValueError):
+        client.randbelow(0)
+    with pytest.raises(ValueError):
+        client.randbelow(-3)
+
+
 def test_clients_with_different_ids_diverge():
     a = SimClient(0, num_servers=16, seed=5)
     b = SimClient(1, num_servers=16, seed=5)

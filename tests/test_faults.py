@@ -92,6 +92,77 @@ def test_fault_event_validation():
         FaultEvent(FaultKind.FAIL_SLOW, 1, at_ops=5, factor=0.5)
 
 
+@pytest.mark.parametrize("spec", [
+    "crash:2@ops=1000",
+    "recover:2@t=4.5",
+    "fail_slow:1@ops=500:x8",
+    "drop_heartbeats:0@t=2",
+    "partition:{0,1}|{2,3,m1}@t=2",
+    "heal:{0,1}|{2,3,m1}@t=4",
+    "heal:*@t=4",
+    "monitor_crash:0@ops=800",
+    "monitor_recover:0@ops=1500",
+    "loss:1@ops=500:p0.3",
+    "delay:2@t=1:d0.001",
+])
+def test_every_kind_round_trips_through_to_spec(spec):
+    event = FaultEvent.parse(spec)
+    assert event.to_spec() == spec
+    assert FaultEvent.parse(event.to_spec()) == event
+
+
+def test_partition_groups_are_canonicalised():
+    event = FaultEvent.parse("partition:{m1, 3, 1}|{0,2,m0}@t=1.0")
+    # Members sort MDS-first then monitors; the canonical name is what a
+    # heal event must match.
+    assert event.partition_name == "{1,3,m1}|{0,2,m0}"
+    assert event.server == -1
+    heal = FaultEvent.parse("heal:{1,3,m1}|{0,2,m0}@t=2.0")
+    assert heal.partition_name == event.partition_name
+
+
+@pytest.mark.parametrize("spec", [
+    "partition:{0,1}@t=1",         # a single group is no partition
+    "partition:{}|{1}@t=1",        # empty group
+    "partition:{0,x}|{1}@t=1",     # bad member token
+    "partition:0@t=1",             # not group syntax at all
+    "loss:1@ops=5:p0",             # probability outside (0, 1]
+    "loss:1@ops=5:p1.5",
+    "delay:1@ops=5",               # delay needs a :dSECONDS suffix
+])
+def test_new_kind_parse_rejects(spec):
+    with pytest.raises(ValueError):
+        FaultEvent.parse(spec)
+
+
+# ----------------------------------------------------------------------
+# Plan validation at apply time
+# ----------------------------------------------------------------------
+def test_validate_rejects_out_of_range_targets():
+    with pytest.raises(ValueError, match="crash:9@ops=5"):
+        plan("crash:9@ops=5").validate(4)
+    with pytest.raises(ValueError, match="replicas 0..2"):
+        plan("monitor_crash:3@ops=5").validate(4, num_monitors=3)
+    with pytest.raises(ValueError, match="partitions server 7"):
+        plan("partition:{0,7}|{1}@t=1").validate(4)
+    with pytest.raises(ValueError, match="Monitor replica 5"):
+        plan("partition:{0,m5}|{1}@t=1").validate(4, num_monitors=3)
+
+
+def test_validate_warns_on_orphan_recover():
+    with pytest.warns(UserWarning, match="ever degrades it"):
+        plan("recover:1@ops=500").validate(4)
+
+
+def test_validate_passes_clean_plans_through():
+    schedule = plan(
+        "crash:1@ops=100", "recover:1@ops=500",
+        "partition:{0,1}|{2,3,m0}@t=1", "heal:*@t=2",
+        "loss:2@ops=50:p0.5", "recover:2@ops=400",
+    )
+    assert schedule.validate(4, num_monitors=2) is schedule
+
+
 def test_fault_plan_ordering_and_servers():
     schedule = plan(
         "recover:2@ops=900", "crash:2@ops=100",
