@@ -1,8 +1,14 @@
-"""Routing-engine throughput benchmark (the ``repro bench`` verb).
+"""Wall-clock benchmarks (the ``repro bench`` verb).
 
-Measures the cost of *route planning* — the per-operation work the
-fast-path engine (:mod:`repro.simulation.routing`) optimises — by replaying
-a trace through both engines in a plan-only loop:
+Two axes:
+
+* ``--axis routing`` (:func:`bench_routing`, the default) measures route
+  planning throughput; ``--axis recovery`` (:func:`bench_recovery`)
+  measures durable-store recovery time against WAL length.
+
+The routing axis measures the cost of *route planning* — the per-operation
+work the fast-path engine (:mod:`repro.simulation.routing`) optimises — by
+replaying a trace through both engines in a plan-only loop:
 
 * **legacy** mode reproduces the pre-fast-path per-op planner: one
   ``tree.lookup(path)`` per record followed by the string-keyed ancestor
@@ -35,7 +41,7 @@ from repro.simulation.routing import make_engine
 from repro.simulation.runner import SimulationConfig, simulate
 from repro.traces.generator import GeneratedWorkload
 
-__all__ = ["bench_routing", "write_report"]
+__all__ = ["bench_recovery", "bench_routing", "write_report"]
 
 #: Matches the simulator's client fleet default.
 BENCH_CLIENTS = 200
@@ -301,6 +307,93 @@ def bench_routing(
         "python": platform.python_version(),
         "schemes": per_scheme,
         "speedup_geomean": geomean,
+    }
+
+
+# ----------------------------------------------------------------------
+# Recovery axis: WAL replay time vs log length
+# ----------------------------------------------------------------------
+
+def _synthetic_log(store, server: int, records: int, seed: int) -> None:
+    """Fill one server's log with a realistic record mix (mostly acks)."""
+    import random
+
+    rng = random.Random(seed)
+    paths = [f"/bench/dir{idx:03d}/file{idx:05d}" for idx in range(256)]
+    for op in range(records):
+        roll = rng.random()
+        t = op * 1e-4
+        if roll < 0.90:
+            store.append_ack(server, op, rng.choice(paths), t)
+        elif roll < 0.95:
+            store.append_mutation(server, "grant", rng.choice(paths), t)
+        elif roll < 0.98:
+            store.append_mutation(server, "revoke", rng.choice(paths), t)
+        else:
+            store.append_fence(server, 1 + op // 100, t)
+
+
+def bench_recovery(
+    log_lengths=(1000, 4000, 16000),
+    backends=("wal", "sqlite"),
+    repeats: int = 3,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Measure recovery-replay time against log length per backend.
+
+    For each (backend, length) point a synthetic per-server log of
+    ``length`` records (90% acks, the rest grants/revokes/fences — roughly
+    the mix a busy MDS journals) is built in a temp directory with
+    snapshotting disabled, then ``recover_server`` is timed; the best of
+    ``repeats`` runs is kept. The report lands in ``BENCH_recovery.json``
+    (first step of the ROADMAP's multi-axis bench suite).
+    """
+    from repro.storage import make_store
+
+    perf = time.perf_counter
+    points: List[Dict[str, object]] = []
+    for backend in backends:
+        for length in log_lengths:
+            best = None
+            replayed = 0
+            recovered_acks = 0
+            for repeat in range(max(1, repeats)):
+                # snapshot_every=0: the whole log replays, so the timing is
+                # a pure function of log length (snapshots are what keep
+                # real recoveries shorter — that effect is the WAL format's
+                # to demonstrate, not this microbenchmark's).
+                store = make_store(backend, snapshot_every=0)
+                try:
+                    _synthetic_log(store, 0, length, seed)
+                    gc_was_enabled = gc.isenabled()
+                    gc.disable()
+                    try:
+                        t0 = perf()
+                        recovered = store.recover_server(0)
+                        elapsed = perf() - t0
+                    finally:
+                        if gc_was_enabled:
+                            gc.enable()
+                    replayed = recovered.replayed_records
+                    recovered_acks = len(recovered.acked_ops)
+                    if best is None or elapsed < best:
+                        best = elapsed
+                finally:
+                    store.close()
+            points.append({
+                "backend": backend,
+                "log_records": int(length),
+                "recover_seconds": best,
+                "records_per_sec": replayed / best if best else 0.0,
+                "replayed_records": replayed,
+                "recovered_acks": recovered_acks,
+            })
+    return {
+        "benchmark": "wal_recovery",
+        "repeats": repeats,
+        "seed": seed,
+        "python": platform.python_version(),
+        "points": points,
     }
 
 

@@ -18,6 +18,17 @@ metadata service must uphold no matter what the network did:
 4. **Accounting balance** — every operation handed to a client either
    completed or was abandoned after retry exhaustion:
    ``issued == completed + failed``.
+5. **Durability** (durable stores only) — every client-acknowledged
+   operation and every committed directive is still present after recovery
+   replay, and every injected torn/corrupt WAL tail was detected and
+   cleanly truncated rather than replayed. Checked against an independent
+   ledger kept outside the store under test
+   (:class:`repro.storage.DurabilityLedger`).
+
+With ``--store wal``/``sqlite`` the schedule generator also draws the
+kill9 family (``kill9``, ``torn_write``, ``corrupt_record``): crashes that
+wipe volatile state — including the epoch fence — so rejoin must replay
+snapshot + WAL tail from the store before re-fencing.
 
 Every schedule is generated from the case seed alone, and each event
 round-trips through the ``--fault`` grammar — on a violation the harness
@@ -75,6 +86,19 @@ _KIND_WEIGHTS = (
     ("monitor_crash", 2),
 )
 
+#: Extra kinds drawn only for durable-store runs (``durability=True``):
+#: crashes with volatile-state loss, optionally plus injected WAL-tail
+#: damage. Kept out of the base table so existing seeds generate the exact
+#: schedules they always did.
+_DURABILITY_KIND_WEIGHTS = (
+    ("kill9", 3),
+    ("torn_write", 2),
+    ("corrupt_record", 2),
+)
+
+#: Kinds that take a server fully down (they share the concurrent-crash cap).
+_DOWN_KINDS = frozenset({"crash", "kill9", "torn_write", "corrupt_record"})
+
 
 def _partition_spec(
     rng: random.Random, num_servers: int, num_monitors: int
@@ -96,6 +120,7 @@ def generate_plan(
     total_ops: int,
     num_servers: int,
     num_monitors: int,
+    durability: bool = False,
 ) -> FaultPlan:
     """Seeded random fault schedule for one chaos case.
 
@@ -107,6 +132,11 @@ def generate_plan(
     has somewhere to go. Under heavy faults the closing events may never
     trigger (completions stall); the harness's explicit quiescence pass
     covers that tail.
+
+    With ``durability=True`` the kill9 family joins the draw (volatile-loss
+    crashes and WAL-tail damage — only meaningful against a durable store).
+    The flag widens the kind table rather than reweighting it, so existing
+    seeds without it keep generating their historical schedules.
     """
     if num_servers < 3:
         raise ValueError("chaos schedules need at least three servers")
@@ -117,8 +147,9 @@ def generate_plan(
     open_hi = max(open_lo + 1, total_ops * 11 // 20)
     close_hi = max(open_hi + 2, total_ops * 3 // 4)
     gap = max(1, total_ops // 10)
-    kinds = [kind for kind, _ in _KIND_WEIGHTS]
-    weights = [weight for _, weight in _KIND_WEIGHTS]
+    table = _KIND_WEIGHTS + (_DURABILITY_KIND_WEIGHTS if durability else ())
+    kinds = [kind for kind, _ in table]
+    weights = [weight for _, weight in table]
     max_down = max(1, (num_servers - 1) // 2)
     crash_windows: List[tuple] = []
     specs: List[str] = []
@@ -137,7 +168,7 @@ def generate_plan(
             specs.append(f"monitor_recover:{replica}@ops={stop}")
             continue
         server = rng.randrange(num_servers)
-        if kind == "crash":
+        if kind in _DOWN_KINDS:
             overlapping = sum(
                 1 for lo, hi in crash_windows if lo < stop and start < hi
             )
@@ -257,6 +288,45 @@ def _check_invariants(sim: ClusterSimulator, result) -> List[str]:
             f"accounting: issued={issued} but completed={completed} "
             f"+ failed={failed} = {completed + failed}"
         )
+
+    # 5. Durability (durable stores only): acked ops and committed
+    #    directives survive recovery; injected damage was truncated.
+    if sim.store_on:
+        violations.extend(_check_durability(sim))
+    return violations
+
+
+def _check_durability(sim: ClusterSimulator) -> List[str]:
+    """Invariant 5: audit the durable store against the independent ledger.
+
+    Three checks: (a) per-recovery audits the ledger already recorded while
+    the run replayed (acked ops lost across a kill9, damage not detected);
+    (b) a final replay of every server's log, which must still contain
+    every op the ledger saw acknowledged; (c) the store's directive log
+    must match the Monitor group's committed journal record for record.
+    """
+    violations = list(sim.durability.violations)
+
+    for server in sim.servers:
+        sid = server.server_id
+        expected = sim.durability.acked.get(sid)
+        if not expected:
+            continue
+        recovered = sim.store.recover_server(sid)
+        lost = sorted(set(expected) - set(recovered.acked_ops))
+        if lost:
+            violations.append(
+                f"durability: server {sid} log replay is missing "
+                f"{len(lost)} acknowledged ops (e.g. ops {lost[:3]})"
+            )
+
+    stored = sim.store.recover_directives()
+    committed = [d.to_record() for d in sim.monitor.journal]
+    if stored != committed:
+        violations.append(
+            f"durability: directive log diverged from the committed "
+            f"journal ({len(stored)} stored vs {len(committed)} committed)"
+        )
     return violations
 
 
@@ -280,13 +350,17 @@ class ChaosCase:
     aborted_directives: int = 0
     messages_dropped: int = 0
     messages_delayed: int = 0
+    #: Store backend the case ran against ("memory" = durability off).
+    store: str = "memory"
+    #: Store counters + ledger roll-up (None for the memory store).
+    durability: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
     def to_dict(self) -> dict:
-        return {
+        case = {
             "seed": self.seed,
             "ok": self.ok,
             "faults": list(self.specs),
@@ -301,6 +375,12 @@ class ChaosCase:
             "messages_dropped": self.messages_dropped,
             "messages_delayed": self.messages_delayed,
         }
+        # Key present only for durable-store runs: memory-store reports
+        # keep their historical shape.
+        if self.durability is not None:
+            case["store"] = self.store
+            case["durability"] = dict(self.durability)
+        return case
 
     def replay_args(self) -> List[str]:
         """The ``--fault`` arguments reproducing this case's schedule."""
@@ -348,11 +428,19 @@ def run_case(
     num_monitors: int = 3,
     routing_engine: str = "fast",
     plan: Optional[FaultPlan] = None,
+    store: str = "memory",
+    store_dir: Optional[str] = None,
 ) -> ChaosCase:
-    """One seeded chaos run: schedule, replay, quiesce, check."""
+    """One seeded chaos run: schedule, replay, quiesce, check.
+
+    A durable ``store`` (``"wal"``/``"sqlite"``) turns on the kill9 fault
+    family in generated schedules and the fifth (durability) invariant.
+    """
+    durable = store != "memory"
     if plan is None:
         plan = generate_plan(
-            seed, len(workload.trace), num_servers, num_monitors
+            seed, len(workload.trace), num_servers, num_monitors,
+            durability=durable,
         )
     scheme = registry.create(scheme_name)
     # Tight clocks (see the module constants): without them a crashed
@@ -366,25 +454,39 @@ def run_case(
         heartbeat_interval=CHAOS_HEARTBEAT_INTERVAL,
         heartbeat_timeout=CHAOS_HEARTBEAT_TIMEOUT,
         monitor_lease_timeout=CHAOS_LEASE_TIMEOUT,
+        store=store,
+        store_dir=store_dir,
     )
     sim = ClusterSimulator(scheme, workload, num_servers, config)
-    result = sim.run()
-    _quiesce(sim, result.makespan)
-    violations = _check_invariants(sim, result)
-    return ChaosCase(
-        seed=seed,
-        specs=plan.to_specs(),
-        violations=violations,
-        operations=result.operations,
-        failed_operations=result.availability.failed_operations,
-        retries=result.availability.retries,
-        epoch=sim.monitor.epoch,
-        failovers=sim.monitor.failovers,
-        fenced_directives=sum(s.fenced_directives for s in sim.servers),
-        aborted_directives=sim.monitor.aborted_directives,
-        messages_dropped=sim.network.messages_dropped,
-        messages_delayed=sim.network.messages_delayed,
-    )
+    try:
+        result = sim.run()
+        _quiesce(sim, result.makespan)
+        violations = _check_invariants(sim, result)
+        if sim.store_on:
+            # Recompute after quiescence: the quiesce pass itself performs
+            # recovery replays, which result.durability (snapshotted when
+            # the trace drained) predates.
+            durability = sim.store.stats()
+            durability.update(sim.durability.summary())
+            result.durability = durability
+        return ChaosCase(
+            seed=seed,
+            specs=plan.to_specs(),
+            violations=violations,
+            operations=result.operations,
+            failed_operations=result.availability.failed_operations,
+            retries=result.availability.retries,
+            epoch=sim.monitor.epoch,
+            failovers=sim.monitor.failovers,
+            fenced_directives=sum(s.fenced_directives for s in sim.servers),
+            aborted_directives=sim.monitor.aborted_directives,
+            messages_dropped=sim.network.messages_dropped,
+            messages_delayed=sim.network.messages_delayed,
+            store=sim.store.name,
+            durability=result.durability,
+        )
+    finally:
+        sim.close()
 
 
 def run_chaos(
@@ -394,6 +496,8 @@ def run_chaos(
     seeds: Sequence[int],
     num_monitors: int = 3,
     routing_engine: str = "fast",
+    store: str = "memory",
+    store_dir: Optional[str] = None,
 ) -> ChaosReport:
     """Run one chaos case per seed and aggregate the outcomes."""
     report = ChaosReport(
@@ -411,6 +515,8 @@ def run_chaos(
                 seed,
                 num_monitors=num_monitors,
                 routing_engine=routing_engine,
+                store=store,
+                store_dir=store_dir,
             )
         )
     return report

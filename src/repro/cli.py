@@ -28,6 +28,7 @@ from repro import registry
 from repro.metrics import evaluate_scheme
 from repro.placement import MetadataScheme
 from repro.simulation import replay_rounds, simulate
+from repro.storage import STORE_BACKENDS
 from repro.traces import DatasetProfile, TraceGenerator, load_workload, save_trace
 
 __all__ = ["main", "build_parser"]
@@ -150,6 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="leadership lease: a standby takes over after the "
                           "leader has been dead or quorumless this long "
                           "(simulated seconds; default 2x heartbeat-timeout)")
+    sim.add_argument("--store", choices=list(STORE_BACKENDS), default=None,
+                     help="metadata persistence backend (default memory, "
+                          "a zero-cost no-op; wal/sqlite journal acks, "
+                          "fences and subtree moves and replay them when "
+                          "a kill9'd server rejoins — see "
+                          "docs/DURABILITY.md)")
+    sim.add_argument("--store-dir", metavar="DIR", default=None,
+                     help="directory for the durable store backends "
+                          "(default: a self-cleaning temp dir)")
     sim.add_argument("--json", action="store_true",
                      help="emit a JSON array of full SimulationResult "
                           "serializations instead of formatted rows")
@@ -166,9 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="benchmark the routing engines and write BENCH_throughput.json",
+        help="benchmark routing throughput or WAL recovery time",
     )
     add_workload_args(bench)
+    bench.add_argument("--axis", choices=["routing", "recovery"],
+                       default="routing",
+                       help="what to measure: routing engine throughput "
+                            "(default, BENCH_throughput.json) or durable-"
+                            "store recovery time vs log length "
+                            "(BENCH_recovery.json)")
     bench.add_argument("--servers", type=int, default=8)
     bench.add_argument("--scheme", action="append", default=None,
                        choices=registry.available(), metavar="NAME",
@@ -177,15 +193,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--batch-size", type=int, default=64,
                        help="fast-engine dispatch window (default 64)")
     bench.add_argument("--repeats", type=int, default=3,
-                       help="timed repetitions per engine; best kept "
+                       help="timed repetitions per point; best kept "
                             "(default 3)")
     bench.add_argument("--max-ops", type=int, default=None,
                        help="truncate the trace to this many operations")
     bench.add_argument("--no-parity", action="store_true",
                        help="skip the full-simulation batched-vs-per-op "
-                            "equivalence checks")
-    bench.add_argument("--out", metavar="FILE", default="BENCH_throughput.json",
-                       help="report path (default BENCH_throughput.json)")
+                            "equivalence checks (routing axis)")
+    bench.add_argument("--log-lengths", type=int, nargs="+", default=None,
+                       metavar="N",
+                       help="recovery axis: WAL lengths (records) to "
+                            "measure (default 1000 4000 16000)")
+    bench.add_argument("--store", action="append", default=None,
+                       choices=["wal", "sqlite"], metavar="NAME",
+                       help="recovery axis: backend to measure "
+                            "(repeatable; default: both)")
+    bench.add_argument("--out", metavar="FILE", default=None,
+                       help="report path (default BENCH_throughput.json / "
+                            "BENCH_recovery.json per axis)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -207,6 +232,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="truncate the trace to this many operations")
     chaos.add_argument("--routing-engine", choices=["fast", "legacy"],
                        default="fast")
+    chaos.add_argument("--store", choices=list(STORE_BACKENDS),
+                       default="memory",
+                       help="metadata persistence backend; wal/sqlite turn "
+                            "on the kill9/torn_write/corrupt_record fault "
+                            "family and the durability invariant "
+                            "(default memory)")
+    chaos.add_argument("--store-dir", metavar="DIR", default=None,
+                       help="directory for the durable store backends "
+                            "(default: a self-cleaning temp dir)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full ChaosReport as JSON")
 
@@ -320,6 +354,10 @@ def cmd_simulate(args) -> int:
         overrides["batch_size"] = args.batch_size
     if args.routing_engine is not None:
         overrides["routing_engine"] = args.routing_engine
+    if args.store is not None:
+        overrides["store"] = args.store
+    if args.store_dir is not None:
+        overrides["store_dir"] = args.store_dir
     if args.seed is not None:
         overrides["seed"] = args.seed
     config = SimulationConfig(**overrides) if overrides else None
@@ -404,6 +442,8 @@ def cmd_chaos(args) -> int:
                     seed,
                     num_monitors=args.monitors,
                     routing_engine=args.routing_engine,
+                    store=args.store,
+                    store_dir=args.store_dir,
                 )
             )
     except ValueError as error:
@@ -448,6 +488,8 @@ def cmd_chaos(args) -> int:
             ]
             if args.ops is not None:
                 replay_parts.append(f"--max-ops {args.ops}")
+            if case.store != "memory":
+                replay_parts.append(f"--store {case.store}")
             replay = " ".join(replay_parts + case.replay_args())
             print(f"  replay: {replay}", file=sys.stderr)
         return 1
@@ -462,6 +504,8 @@ FIGURE_LABELS = {
 
 
 def cmd_bench(args) -> int:
+    if args.axis == "recovery":
+        return _cmd_bench_recovery(args)
     from repro.bench import bench_routing, write_report
 
     workload = _workload(args)
@@ -474,7 +518,8 @@ def cmd_bench(args) -> int:
         repeats=args.repeats,
         parity=not args.no_parity,
     )
-    write_report(report, args.out)
+    out = args.out or "BENCH_throughput.json"
+    write_report(report, out)
     for name, entry in report["schemes"].items():
         modes = entry["modes"]
         parity = entry.get("parity")
@@ -488,7 +533,7 @@ def cmd_bench(args) -> int:
             f"  legacy {modes['legacy']['ops_per_sec']:>12,.0f} op/s"
             f"  speedup {entry['speedup']:.2f}x{parity_note}"
         )
-    print(f"geomean speedup {report['speedup_geomean']:.2f}x -> {args.out}")
+    print(f"geomean speedup {report['speedup_geomean']:.2f}x -> {out}")
     failed = [
         name
         for name, entry in report["schemes"].items()
@@ -497,6 +542,30 @@ def cmd_bench(args) -> int:
     if failed:
         print(f"parity check FAILED for: {', '.join(failed)}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_bench_recovery(args) -> int:
+    from repro.bench import bench_recovery, write_report
+
+    kwargs = {"repeats": args.repeats}
+    if args.log_lengths is not None:
+        kwargs["log_lengths"] = tuple(args.log_lengths)
+    if args.store is not None:
+        kwargs["backends"] = tuple(args.store)
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    report = bench_recovery(**kwargs)
+    out = args.out or "BENCH_recovery.json"
+    write_report(report, out)
+    for point in report["points"]:
+        print(
+            f"{point['backend']:8s} log={point['log_records']:>7,d} rec"
+            f"  recover {point['recover_seconds'] * 1e3:>9.2f} ms"
+            f"  {point['records_per_sec']:>12,.0f} rec/s"
+            f"  replayed={point['replayed_records']:,d}"
+        )
+    print(f"-> {out}")
     return 0
 
 

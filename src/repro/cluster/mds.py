@@ -56,6 +56,10 @@ class MetadataServer:
         self.fence_epoch = 0
         #: Directives rejected by the epoch fence (stale-leader attempts).
         self.fenced_directives = 0
+        #: Set by :meth:`kill9`: the crash took volatile state (including
+        #: the fence) with it, so the rejoin path must restore the fence
+        #: from the durable store before applying any directive.
+        self.lost_volatile = False
 
     # ------------------------------------------------------------------
     def process(self, arrival: float, work: float = 1.0) -> float:
@@ -105,6 +109,20 @@ class MetadataServer:
     def fail(self) -> None:
         """Mark the server as crashed (failure injection)."""
         self.alive = False
+
+    def kill9(self) -> None:
+        """Crash with volatile-state loss (the ``kill9`` fault).
+
+        Unlike :meth:`fail`, the process image is gone: access counters and
+        — crucially — the epoch fence are wiped. Whatever the durable store
+        replays at rejoin is all that survives; with the in-memory store
+        that is nothing, which is exactly the hazard the durability faults
+        exist to demonstrate.
+        """
+        self.alive = False
+        self._counters.clear()
+        self.fence_epoch = 0
+        self.lost_volatile = True
 
     def recover(self) -> None:
         """Bring the server back (empty, counters reset, faults cleared)."""

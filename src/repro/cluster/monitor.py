@@ -171,10 +171,19 @@ class PlacementJournal:
     def __init__(self) -> None:
         self.entries: List[Directive] = []
         self._snapshot_index = 0
+        #: Durable mirror (a ``repro.storage`` MetadataStore); None keeps
+        #: the journal RAM-only, the pre-durability behaviour.
+        self._store = None
+
+    def bind_store(self, store) -> None:
+        """Mirror every committed directive into a durable store."""
+        self._store = store
 
     def append(self, directive: Directive) -> None:
         """Commit one directive (quorum responsibility lies with the caller)."""
         self.entries.append(directive)
+        if self._store is not None:
+            self._store.append_directive(directive.to_record())
 
     def snapshot(self) -> int:
         """Mark the current tail as compacted; returns the cursor."""

@@ -38,6 +38,21 @@ Event kinds
     Crash or restart Monitor replica ``N``. Losing the leader stalls
     detection and rebalancing until a standby's lease takeover bumps the
     leadership epoch (see ``repro.cluster.monitor.MonitorGroup``).
+``kill9``
+    Like ``crash``, but the process image is lost: access counters *and*
+    the epoch fence are wiped. On ``recover`` the server replays snapshot +
+    WAL tail from the durable store (``--store wal``/``sqlite``) to restore
+    acknowledged state and its fence, then re-fences through
+    ``accept_directive`` before serving. With the in-memory store the
+    replay restores nothing — the documented hazard.
+``torn_write``
+    ``kill9`` plus a torn WAL tail: the server's log is cut mid-record, as
+    a crash during ``write(2)`` leaves it. Recovery must detect the tear
+    via the length prefix and truncate it rather than replay garbage.
+``corrupt_record``
+    ``kill9`` plus a corrupted unsynced tail record (bit flip). Recovery
+    must detect the CRC mismatch and truncate. Both damage kinds only ever
+    touch *unsynced* bytes — acknowledged state is fsynced and stays.
 ``loss``
     Drop each message touching the server's links with probability ``p``
     (``loss:1@ops=500:p0.25``; default 1.0 — a blackhole). Applies to both
@@ -61,6 +76,9 @@ probability) and ``:dS`` (delay seconds)::
     monitor_crash:0@ops=800
     loss:1@ops=500:p0.3
     delay:2@t=1.0:d0.001
+    kill9:1@ops=700
+    torn_write:2@ops=900
+    corrupt_record:0@t=3.0
 """
 
 from __future__ import annotations
@@ -86,6 +104,9 @@ class FaultKind(enum.Enum):
     MONITOR_RECOVER = "monitor_recover"
     LOSS = "loss"
     DELAY = "delay"
+    KILL9 = "kill9"
+    TORN_WRITE = "torn_write"
+    CORRUPT_RECORD = "corrupt_record"
 
 
 #: Kinds that do not target one MDS (``event.server`` is -1 for partition
@@ -99,6 +120,15 @@ _DEGRADING_KINDS = frozenset({
     FaultKind.DROP_HEARTBEATS,
     FaultKind.LOSS,
     FaultKind.DELAY,
+    FaultKind.KILL9,
+    FaultKind.TORN_WRITE,
+    FaultKind.CORRUPT_RECORD,
+})
+#: The crash-with-volatile-loss family (all imply a ``kill9``-style down).
+_KILL_KINDS = frozenset({
+    FaultKind.KILL9,
+    FaultKind.TORN_WRITE,
+    FaultKind.CORRUPT_RECORD,
 })
 
 

@@ -33,6 +33,7 @@ from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.simulation.faults import FaultEvent, FaultKind, FaultPlan
 from repro.simulation.network import SimNetwork, mds_addr, mon_addr
 from repro.simulation.routing import FastRoutingEngine, make_engine
+from repro.storage import DurabilityLedger, make_store
 from repro.simulation.stats import (
     AvailabilityReport,
     SimulationResult,
@@ -101,6 +102,15 @@ class SimulationConfig:
     #: index) or ``"legacy"`` (string-keyed ancestor walks). Both produce
     #: identical plans; legacy is kept as the benchmark baseline.
     routing_engine: str = "fast"
+    #: Metadata persistence backend (``repro.storage``): ``"memory"`` (the
+    #: zero-cost no-op default), ``"wal"`` or ``"sqlite"``. Durable backends
+    #: journal acks/fences/subtree moves and replay them when a ``kill9``'d
+    #: server rejoins.
+    store: str = "memory"
+    #: Directory for the durable backends (None = self-cleaning temp dir).
+    store_dir: Optional[str] = None
+    #: Per-server log appends between snapshots (0 disables snapshots).
+    snapshot_every: int = 512
     seed: int = 7
 
 
@@ -163,6 +173,21 @@ class ClusterSimulator:
             telemetry=self.telemetry,
             network=self.network,
         )
+        # Durable persistence (repro.storage). The memory backend keeps
+        # ``durable`` False, and every hook below is gated on ``store_on``,
+        # so the default configuration pays one predicate per op and stays
+        # byte-identical to the pre-durability simulator (golden tests).
+        self.store = make_store(
+            self.config.store,
+            directory=self.config.store_dir,
+            snapshot_every=self.config.snapshot_every,
+        )
+        self.store_on = self.store.durable
+        self.durability: Optional[DurabilityLedger] = None
+        if self.store_on:
+            self.store.bind_telemetry(self.telemetry)
+            self.monitor.journal.bind_store(self.store)
+            self.durability = DurabilityLedger()
         self.created = 0
         #: Trace records handed to clients (completed + failed + in flight);
         #: the chaos harness balances this against the availability ledger.
@@ -208,6 +233,10 @@ class ClusterSimulator:
             # throughput knob, and identical headers keep the batched run's
             # telemetry byte-identical to the per-op run's.
             info.setdefault("routing_engine", self.engine.name)
+            if self.store_on:
+                # Recorded only when durability is on: default runs keep
+                # the exact pre-durability header.
+                info.setdefault("store", self.store.name)
             self._register_probes()
 
     def _register_probes(self) -> None:
@@ -317,6 +346,7 @@ class ClusterSimulator:
         moves = self.monitor.rebalance(now)
         self.migrations += len(moves)
         self._charge_migrations(moves)
+        self._journal_moves(moves, now)
         if self.telemetry.enabled:
             self.telemetry.event(
                 "adjust_round", t=now, migrations=len(moves), mu=mu,
@@ -342,6 +372,24 @@ class ClusterSimulator:
                 self.servers[move.source].cpu.serve_background(cost)
             if self.servers[move.target].alive:
                 self.servers[move.target].cpu.serve_background(cost)
+
+    def _journal_moves(self, moves, now: float) -> None:
+        """Persist subtree ownership changes to the per-MDS logs.
+
+        Each move revokes the subtree from its source and grants it to its
+        target. Only *live* servers journal — a dead server's log must not
+        change while it is down (injected tail damage has to stay exactly
+        where the crash left it until recovery inspects it).
+        """
+        if not self.store_on or not moves:
+            return
+        store = self.store
+        for move in moves:
+            path = move.node.path
+            if self.servers[move.source].alive:
+                store.append_mutation(move.source, "revoke", path, now)
+            if self.servers[move.target].alive:
+                store.append_mutation(move.target, "grant", path, now)
 
     # ------------------------------------------------------------------
     # Fault injection (Sec. IV-A3: failure detection and recovery)
@@ -395,6 +443,39 @@ class ClusterSimulator:
                 self._crashed_at[event.server] = now
                 self.availability.crashes += 1
                 self.telemetry.event("fault_crash", t=now, server=event.server)
+        elif kind in (
+            FaultKind.KILL9, FaultKind.TORN_WRITE, FaultKind.CORRUPT_RECORD
+        ):
+            # The kill9 family: crash with volatile-state loss, optionally
+            # plus injected damage on the unsynced WAL tail. The damage is
+            # applied even if the server was already down (a second fault
+            # hitting the same dead disk), but the crash itself only counts
+            # once.
+            if server.alive:
+                server.kill9()
+                self._crashed_at[event.server] = now
+                self.availability.crashes += 1
+                if self.durability is not None:
+                    self.durability.note_kill(event.server)
+                self.telemetry.event(
+                    "fault_kill9", t=now, server=event.server,
+                    damage=kind.value if kind is not FaultKind.KILL9 else None,
+                )
+            if self.store_on:
+                damaged = False
+                if kind is FaultKind.TORN_WRITE:
+                    damaged = self.store.tear_tail(event.server)
+                    if damaged:
+                        self.durability.note_damage(event.server, "torn")
+                elif kind is FaultKind.CORRUPT_RECORD:
+                    damaged = self.store.corrupt_tail(event.server)
+                    if damaged:
+                        self.durability.note_damage(event.server, "corrupt")
+                if damaged:
+                    # Damaged logs are only repaired by recovery replay, so
+                    # the rejoin path must replay even if the server was
+                    # already down from an earlier plain crash.
+                    server.lost_volatile = True
         elif kind is FaultKind.RECOVER:
             self._recover_server(event.server, now)
         elif kind is FaultKind.FAIL_SLOW:
@@ -493,8 +574,14 @@ class ClusterSimulator:
             "rehome", now, server=dead, moves=len(moves)
         )
         if directive is not None:
+            accepted = set()
             for move in moves:
-                self.servers[move.target].accept_directive(directive.epoch)
+                if self.servers[move.target].accept_directive(directive.epoch):
+                    accepted.add(move.target)
+            if self.store_on:
+                for target in sorted(accepted):
+                    self.store.append_fence(target, directive.epoch, now)
+        self._journal_moves(moves, now)
         self.telemetry.event(
             "failure_detected", t=now, server=dead,
             latency=now - since, false_positive=server.alive,
@@ -508,6 +595,40 @@ class ClusterSimulator:
         was_crashed = not server.alive
         if was_crashed:
             server.recover()
+            if server.lost_volatile:
+                # kill9 rejoin: the process image is gone, so whatever the
+                # durable store replays — snapshot plus WAL tail, with any
+                # torn/corrupt tail truncated — is the server's state. The
+                # fence is restored *before* the rejoin directive below, so
+                # a stale directive is still rejected post-crash.
+                if self.store_on:
+                    recovered = self.store.recover_server(sid)
+                    server.fence_epoch = recovered.fence_epoch
+                    self.durability.note_recovery(sid, recovered)
+                    if self.telemetry.enabled:
+                        self.telemetry.event(
+                            "recovery_replay", t=now, server=sid,
+                            replayed=recovered.replayed_records,
+                            snapshot=recovered.snapshot_loaded,
+                            truncated=recovered.truncated,
+                            reason=recovered.truncate_reason,
+                            fence_epoch=recovered.fence_epoch,
+                        )
+                        self.telemetry.registry.counter(
+                            "recoveries",
+                            help="kill9 rejoins that replayed durable state",
+                        ).inc()
+                        self.telemetry.registry.histogram(
+                            "recovery_replay_ops",
+                            help="Log records replayed per recovery",
+                        ).observe(float(recovered.replayed_records))
+                        if recovered.truncated:
+                            self.telemetry.registry.counter(
+                                "wal_truncations",
+                                help="Torn/corrupt WAL tails truncated "
+                                     "during recovery",
+                            ).inc()
+                server.lost_volatile = False
         else:
             server.slow_factor = 1.0
             server.muted = False
@@ -530,6 +651,8 @@ class ClusterSimulator:
         # epoch already re-homed.
         if not server.accept_directive(directive.epoch):
             return
+        if self.store_on:
+            self.store.append_fence(sid, directive.epoch, now)
         live = [s.server_id for s in self.servers if s.alive]
         moves = rejoin_server(
             self.placement, sid,
@@ -539,6 +662,7 @@ class ClusterSimulator:
         self.engine.invalidate()
         self.migrations += len(moves)
         self._charge_migrations(moves)
+        self._journal_moves(moves, now)
         self.availability.rejoins += 1
         time_to_recover = None
         if was_crashed and sid in self._crashed_at:
@@ -597,6 +721,11 @@ class ClusterSimulator:
         tel = self.telemetry
         tel_on = tel.enabled
         record_ops = tel_on and tel.record_ops
+        # Durability fast path: same shape as the telemetry gate — one local
+        # bool, handles resolved once, nothing on the disabled path.
+        store_on = self.store_on
+        store = self.store
+        ledger = self.durability
         if tel_on:
             m_completed = tel.registry.counter(
                 "ops_completed", help="Operations completed")
@@ -745,6 +874,10 @@ class ClusterSimulator:
                 "node": node,
                 "op": record.op,
             }
+            if store_on:
+                # Durable op sequence: stable across retries, so the acked
+                # set the ledger audits is exactly-once per operation.
+                op["dseq"] = self.ops_issued
             if record_ops:
                 op["id"] = tel.next_op_id()
                 tel.event(
@@ -836,6 +969,12 @@ class ClusterSimulator:
                     cfg.replica_write_work * cfg.service_time
                 )
             completion = end + self.network.hop()
+            if store_on:
+                # fsync-before-ack: the ack record is durable before the
+                # client observes the completion, so a crash after this
+                # point can never lose an acknowledged operation.
+                store.append_ack(visit.server, op["dseq"], op["path"], completion)
+                ledger.note_ack(visit.server, op["dseq"])
             client = op["client"]
             redirected = any(v.kind is VisitKind.REDIRECT for v in plan.visits)
             client.note_operation(redirected)
@@ -887,6 +1026,10 @@ class ClusterSimulator:
             tel.registry.gauge(
                 "throughput", help="Completed operations per simulated second"
             ).set(operations / makespan if makespan > 0 else 0.0)
+        durability = None
+        if store_on:
+            durability = store.stats()
+            durability.update(ledger.summary())
         return SimulationResult(
             scheme=self.scheme.name,
             trace=self.trace.name,
@@ -904,7 +1047,12 @@ class ClusterSimulator:
             lock_waits=self.locks.total_wait,
             jumps_total=jumps_total,
             availability=self.availability,
+            durability=durability,
         )
+
+    def close(self) -> None:
+        """Release the durable store's files (idempotent)."""
+        self.store.close()
 
 
 def simulate(
@@ -919,9 +1067,13 @@ def simulate(
     Pass a :class:`repro.obs.Telemetry` to collect sim-time metrics, gauge
     time series and trace events for the run (see ``docs/OBSERVABILITY.md``).
     """
-    return ClusterSimulator(
+    sim = ClusterSimulator(
         scheme, workload, num_servers, config, telemetry=telemetry
-    ).run()
+    )
+    try:
+        return sim.run()
+    finally:
+        sim.close()
 
 
 # ----------------------------------------------------------------------

@@ -178,6 +178,9 @@ class SimulationResult:
     lock_waits: float = 0.0
     jumps_total: int = 0
     availability: Optional[AvailabilityReport] = None
+    #: Durable-store counters + ledger roll-up (``repro.storage``); None
+    #: when the run used the in-memory no-op store.
+    durability: Optional[Dict[str, object]] = None
 
     @property
     def mean_jumps(self) -> float:
@@ -196,7 +199,7 @@ class SimulationResult:
 
     def to_dict(self) -> Dict[str, object]:
         """Full JSON-ready serialization (the ``--json`` / telemetry form)."""
-        return {
+        result = {
             "scheme": self.scheme,
             "trace": self.trace,
             "num_servers": self.num_servers,
@@ -217,6 +220,11 @@ class SimulationResult:
                 else None
             ),
         }
+        # Present only for durable-store runs: the default (memory store)
+        # serialization stays byte-identical to the committed goldens.
+        if self.durability is not None:
+            result["durability"] = dict(self.durability)
+        return result
 
     def row(self) -> str:
         """One formatted results row (Fig. 5 style)."""

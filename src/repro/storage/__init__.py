@@ -1,0 +1,81 @@
+"""Crash-consistent metadata persistence (the ``--store`` subsystem).
+
+Public surface:
+
+* :class:`MetadataStore` — the pluggable store interface,
+* :func:`make_store` / :data:`STORE_BACKENDS` — backend selection,
+* :class:`DurabilityLedger` — the chaos harness's durability oracle,
+* the WAL codec (:mod:`repro.storage.wal`) for tests and tooling.
+
+See ``docs/DURABILITY.md`` for formats and recovery semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.storage.base import (
+    DurabilityLedger,
+    MetadataStore,
+    RecoveredState,
+    ServerLogState,
+)
+from repro.storage.filestore import WalStore
+from repro.storage.memory import MemoryStore
+from repro.storage.sqlitestore import SqliteStore
+from repro.storage.wal import (
+    HEADER_SIZE,
+    ScanResult,
+    WalFile,
+    encode_json_record,
+    encode_record,
+    scan_records,
+)
+
+__all__ = [
+    "DurabilityLedger",
+    "HEADER_SIZE",
+    "MemoryStore",
+    "MetadataStore",
+    "RecoveredState",
+    "STORE_BACKENDS",
+    "ScanResult",
+    "ServerLogState",
+    "SqliteStore",
+    "WalFile",
+    "WalStore",
+    "encode_json_record",
+    "encode_record",
+    "make_store",
+    "scan_records",
+]
+
+#: ``--store`` choices, in help-text order. ``memory`` is the zero-cost
+#: default; the durable backends take an optional ``--store-dir``.
+STORE_BACKENDS = ("memory", "wal", "sqlite")
+
+
+def make_store(
+    name: str,
+    directory: Optional[str] = None,
+    snapshot_every: int = 512,
+    fsync: bool = False,
+) -> MetadataStore:
+    """Instantiate a store backend by ``--store`` name.
+
+    ``directory`` is ignored by the memory backend; the durable backends
+    fall back to a self-cleaning temporary directory when it is None.
+    """
+    if name == "memory":
+        return MemoryStore(snapshot_every=snapshot_every)
+    if name == "wal":
+        return WalStore(
+            directory=directory, snapshot_every=snapshot_every, fsync=fsync
+        )
+    if name == "sqlite":
+        return SqliteStore(
+            directory=directory, snapshot_every=snapshot_every, fsync=fsync
+        )
+    raise ValueError(
+        f"unknown store backend {name!r} (choose from {', '.join(STORE_BACKENDS)})"
+    )

@@ -1,0 +1,242 @@
+"""SQLite-backed store (stdlib ``sqlite3``; the ``--store sqlite`` backend).
+
+One database file holds all three record classes::
+
+    directives(seq, payload)                      commit-ordered directives
+    records(seq, server, payload, length, crc,    per-MDS logs
+            synced)
+    snapshots(server, payload)                    latest snapshot per MDS
+
+Rows carry the same framing the file WAL puts on disk — a declared payload
+``length`` and a ``crc`` — so recovery applies the identical verdict
+grammar: a payload shorter than its declared length is a **torn** row, a
+CRC mismatch is a **corrupt** row, and either stops replay and is deleted
+(with everything behind it) rather than replayed. Damage injection mirrors
+the file backend too: it only touches unsynced rows, or inserts a damaged
+in-flight row when none are pending.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import tempfile
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.base import MetadataStore, RecoveredState, ServerLogState
+from repro.storage.wal import CORRUPT, TORN
+
+__all__ = ["SqliteStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS directives (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    payload TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS records (
+    seq INTEGER PRIMARY KEY AUTOINCREMENT,
+    server INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    length INTEGER NOT NULL,
+    crc INTEGER NOT NULL,
+    synced INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS records_by_server ON records(server, seq);
+CREATE TABLE IF NOT EXISTS snapshots (
+    server INTEGER PRIMARY KEY,
+    payload TEXT NOT NULL
+);
+"""
+
+
+def _encode(record: dict) -> Tuple[str, int, int]:
+    """(payload text, declared length, crc) for one record."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    raw = payload.encode("utf-8")
+    return payload, len(raw), zlib.crc32(raw)
+
+
+class SqliteStore(MetadataStore):
+    """Crash-consistent sqlite store with WAL-equivalent damage semantics."""
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        snapshot_every: int = 512,
+        fsync: bool = False,
+    ) -> None:
+        super().__init__(snapshot_every=snapshot_every)
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if directory is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-sqlite-")
+            directory = self._tmp.name
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.path = os.path.join(directory, "store.db")
+        if os.path.exists(self.path):
+            os.unlink(self.path)  # a store owns its DB for one run
+        self._db = sqlite3.connect(self.path)
+        # The simulator is single-threaded and sync points are explicit;
+        # synchronous=OFF keeps thousands of tiny commits from dominating
+        # the run (the crash model is process-internal, not power loss).
+        self._db.execute("PRAGMA synchronous=OFF")
+        self._db.executescript(_SCHEMA)
+        self._db.commit()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Backend contract
+    # ------------------------------------------------------------------
+    def _append_directive(self, record: dict) -> None:
+        payload, _, _ = _encode(record)
+        self._db.execute(
+            "INSERT INTO directives(payload) VALUES (?)", (payload,)
+        )
+        self._db.commit()
+
+    def _append_server(self, server: int, record: dict, sync: bool) -> None:
+        payload, length, crc = _encode(record)
+        self._db.execute(
+            "INSERT INTO records(server, payload, length, crc, synced)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (server, payload, length, crc, 0),
+        )
+        if sync:
+            # The sync boundary covers everything appended so far — exactly
+            # the durable_offset semantics of the file WAL.
+            self._db.execute(
+                "UPDATE records SET synced = 1 WHERE server = ?", (server,)
+            )
+            self._db.commit()
+
+    def _write_snapshot(self, server: int, payload: dict) -> None:
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self._db.execute(
+            "INSERT INTO snapshots(server, payload) VALUES (?, ?)"
+            " ON CONFLICT(server) DO UPDATE SET payload = excluded.payload",
+            (server, text),
+        )
+        self._db.execute("DELETE FROM records WHERE server = ?", (server,))
+        self._db.commit()
+
+    def _recover_server(self, server: int) -> RecoveredState:
+        row = self._db.execute(
+            "SELECT payload FROM snapshots WHERE server = ?", (server,)
+        ).fetchone()
+        snapshot_loaded = row is not None
+        state = ServerLogState.from_snapshot(json.loads(row[0]) if row else None)
+        rows = self._db.execute(
+            "SELECT seq, payload, length, crc FROM records"
+            " WHERE server = ? ORDER BY seq",
+            (server,),
+        ).fetchall()
+        seen = set(state.acked_ops)
+        replayed = 0
+        reason = None
+        bad_seq = None
+        for seq, payload, length, crc in rows:
+            raw = payload.encode("utf-8")
+            if len(raw) < length:
+                reason, bad_seq = TORN, seq
+                break
+            if zlib.crc32(raw) != crc:
+                reason, bad_seq = CORRUPT, seq
+                break
+            record = json.loads(payload)
+            if record.get("k") == "ack" and int(record["op"]) in seen:
+                replayed += 1
+                continue
+            state.apply(record)
+            replayed += 1
+        dropped = 0
+        if bad_seq is not None:
+            cursor = self._db.execute(
+                "DELETE FROM records WHERE server = ? AND seq >= ?",
+                (server, bad_seq),
+            )
+            dropped = cursor.rowcount
+            self._db.commit()
+        return RecoveredState(
+            server=server,
+            fence_epoch=state.fence_epoch,
+            acked_ops=list(state.acked_ops),
+            subtrees=sorted(state.subtrees),
+            replayed_records=replayed,
+            snapshot_loaded=snapshot_loaded,
+            truncated=reason is not None,
+            truncate_reason=reason,
+            dropped=dropped,
+        )
+
+    def recover_directives(self) -> List[dict]:
+        rows = self._db.execute(
+            "SELECT payload FROM directives ORDER BY seq"
+        ).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Damage injection
+    # ------------------------------------------------------------------
+    def _first_unsynced(self, server: int):
+        return self._db.execute(
+            "SELECT seq, payload, length FROM records"
+            " WHERE server = ? AND synced = 0 ORDER BY seq LIMIT 1",
+            (server,),
+        ).fetchone()
+
+    def tear_tail(self, server: int) -> bool:
+        row = self._first_unsynced(server)
+        if row is not None:
+            seq, payload, length = row
+            torn = payload[: max(0, len(payload) // 2)]
+            self._db.execute(
+                "UPDATE records SET payload = ? WHERE seq = ?", (torn, seq)
+            )
+        else:
+            payload, length, crc = _encode({"k": "torn-inflight"})
+            self._db.execute(
+                "INSERT INTO records(server, payload, length, crc, synced)"
+                " VALUES (?, ?, ?, ?, 0)",
+                (server, payload[: length // 2], length, crc),
+            )
+        self._db.commit()
+        return True
+
+    def corrupt_tail(self, server: int) -> bool:
+        row = self._first_unsynced(server)
+        if row is not None:
+            seq, payload, _ = row
+            flipped = chr(ord(payload[0]) ^ 0x20) + payload[1:]
+            self._db.execute(
+                "UPDATE records SET payload = ? WHERE seq = ?", (flipped, seq)
+            )
+        else:
+            payload, length, crc = _encode({"k": "corrupt-inflight"})
+            self._db.execute(
+                "INSERT INTO records(server, payload, length, crc, synced)"
+                " VALUES (?, ?, ?, ?, 0)",
+                (server, payload, length, crc ^ 0xDEAD),
+            )
+        self._db.commit()
+        return True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        stats = super().stats()
+        stats["rows"] = self._db.execute(
+            "SELECT COUNT(*) FROM records"
+        ).fetchone()[0]
+        return stats
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._db.close()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None

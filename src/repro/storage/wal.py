@@ -1,0 +1,271 @@
+"""Append-only, checksummed write-ahead log file format.
+
+Record layout (little-endian)::
+
+    [u32 length][u32 CRC32(payload)][payload bytes]
+
+Payloads are compact JSON (sorted keys), so a log is both machine-checkable
+and greppable with ``strings``. The two framing fields give crash
+consistency at record granularity:
+
+* a **torn** tail — the file ends mid-header or mid-payload, what a crash
+  during ``write(2)`` leaves behind — is detected by the length prefix, and
+* a **corrupt** record — bit rot, a misdirected write — is detected by the
+  CRC.
+
+:func:`scan_records` returns the longest valid record prefix plus what
+stopped the scan; recovery truncates the file back to that prefix instead
+of replaying garbage (see ``docs/DURABILITY.md``).
+
+Sync model: :meth:`WalFile.append` buffers through the OS file handle;
+:meth:`WalFile.sync` flushes and advances ``durable_offset``, the byte
+boundary that crash faults must respect. The simulator calls ``sync``
+before any state an operation's client acknowledgment depends on —
+fsync-before-ack — so injected torn/corrupt tails can only ever damage
+*unacknowledged* state. Real ``os.fsync`` is opt-in (``fsync=True``): the
+simulated crashes are process-internal, so data-on-platter guarantees buy
+nothing but latency in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "HEADER_SIZE",
+    "ScanResult",
+    "WalFile",
+    "encode_json_record",
+    "encode_record",
+    "scan_records",
+]
+
+_HEADER = struct.Struct("<II")
+#: Bytes of framing (length + CRC32) in front of every payload.
+HEADER_SIZE = _HEADER.size
+
+
+def encode_record(payload: bytes) -> bytes:
+    """Frame one payload as ``[length][crc32][payload]``."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_json_record(record: dict) -> bytes:
+    """Frame one JSON-serialisable record (compact, sorted keys)."""
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return encode_record(payload)
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of scanning a byte buffer for valid records."""
+
+    #: Payloads of the valid record prefix, in log order.
+    records: Tuple[bytes, ...]
+    #: Byte length of the valid prefix (the truncation point on repair).
+    clean_length: int
+    #: Why the scan stopped early (``None`` when the whole buffer is clean).
+    reason: Optional[str]
+    #: Bytes past the valid prefix (what a repair discards).
+    dropped_bytes: int
+
+    @property
+    def truncated(self) -> bool:
+        """True when the buffer held a torn or corrupt tail."""
+        return self.reason is not None
+
+
+#: Scan-stop reasons (also the fault-kind vocabulary of the chaos layer).
+TORN = "torn"
+CORRUPT = "corrupt"
+
+
+def scan_records(data: bytes) -> ScanResult:
+    """Walk ``data`` record by record, stopping at the first damage.
+
+    A header or payload cut short is a **torn** write; a payload whose CRC
+    does not match is **corrupt**. Everything before the damage is valid
+    and returned; everything from the damaged record on is counted as
+    dropped (a single bad record shadows any records behind it — framing
+    is sequential, so nothing after the damage can be trusted).
+    """
+    records: List[bytes] = []
+    offset = 0
+    total = len(data)
+    reason: Optional[str] = None
+    while offset < total:
+        if offset + HEADER_SIZE > total:
+            reason = TORN
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        end = offset + HEADER_SIZE + length
+        if end > total:
+            reason = TORN
+            break
+        payload = data[offset + HEADER_SIZE:end]
+        if zlib.crc32(payload) != crc:
+            reason = CORRUPT
+            break
+        records.append(payload)
+        offset = end
+    return ScanResult(
+        records=tuple(records),
+        clean_length=offset,
+        reason=reason,
+        dropped_bytes=total - offset,
+    )
+
+
+class WalFile:
+    """One append-only log file with sync tracking and damage injection.
+
+    Parameters
+    ----------
+    path:
+        The log file (created empty if missing).
+    fsync:
+        Call ``os.fsync`` on :meth:`sync` (off by default — see module
+        docstring).
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self._fsync = fsync
+        self._handle = open(path, "ab")
+        #: Byte boundary of the last sync; crash damage never reaches below.
+        self.durable_offset = self._handle.tell()
+        self.appends = 0
+        self.fsyncs = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: dict, sync: bool = False) -> int:
+        """Append one JSON record; returns the bytes written."""
+        frame = encode_json_record(record)
+        self._handle.write(frame)
+        self.appends += 1
+        if sync:
+            self.sync()
+        return len(frame)
+
+    def sync(self) -> None:
+        """Flush buffered appends and advance the durable boundary."""
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        self.durable_offset = self._handle.tell()
+        self.fsyncs += 1
+
+    @property
+    def size(self) -> int:
+        """Current logical size in bytes (including unsynced appends)."""
+        return self._handle.tell()
+
+    def reset(self) -> None:
+        """Discard every record (called after a snapshot subsumed them)."""
+        self._handle.flush()
+        self._handle.truncate(0)
+        self._handle.seek(0)
+        self.durable_offset = 0
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(self, repair: bool = True) -> Tuple[List[dict], ScanResult]:
+        """Scan the on-disk log; optionally truncate damage away.
+
+        Returns the decoded records of the valid prefix plus the scan
+        verdict. With ``repair`` (the default) a torn or corrupt tail is
+        physically truncated so the next append continues from a clean
+        boundary — the "detected and cleanly truncated rather than
+        replayed" half of the durability invariant.
+        """
+        self._handle.flush()
+        with open(self.path, "rb") as reader:
+            data = reader.read()
+        scan = scan_records(data)
+        if repair and scan.dropped_bytes:
+            self._handle.truncate(scan.clean_length)
+            self._handle.seek(scan.clean_length)
+            self.durable_offset = min(self.durable_offset, scan.clean_length)
+        records = [json.loads(payload.decode("utf-8")) for payload in scan.records]
+        return records, scan
+
+    # ------------------------------------------------------------------
+    # Damage injection (the crash-fault surface; see repro.simulation.faults)
+    # ------------------------------------------------------------------
+    def _unsynced_span(self) -> Tuple[int, int]:
+        """(start, length) of the crash-vulnerable region past the last sync."""
+        self._handle.flush()
+        end = self._handle.tell()
+        return self.durable_offset, end - self.durable_offset
+
+    def tear_tail(self) -> bool:
+        """Simulate a crash mid-``write``: leave a half-written record.
+
+        If unsynced records exist the file is cut mid-way through the first
+        of them; otherwise a partial junk record is appended (a torn
+        in-flight append). Synced bytes are never touched — a torn OS write
+        cannot un-write data that was fsynced. Returns True (damage always
+        applies).
+        """
+        start, pending = self._unsynced_span()
+        if pending > 0:
+            # Cut strictly inside the first unsynced record (a cut on a
+            # record boundary would scan as a clean, shorter log).
+            with open(self.path, "rb") as reader:
+                reader.seek(start)
+                header = reader.read(HEADER_SIZE)
+            if len(header) == HEADER_SIZE:
+                length, _ = _HEADER.unpack(header)
+                first = HEADER_SIZE + length
+            else:
+                first = pending  # span already ends mid-header
+            cut = start + max(1, min(first, pending) - 1)
+            self._handle.truncate(cut)
+            self._handle.seek(cut)
+        else:
+            frame = encode_json_record({"k": "torn-inflight"})
+            self._handle.write(frame[: max(1, len(frame) // 2)])
+            self._handle.flush()
+        return True
+
+    def corrupt_tail(self) -> bool:
+        """Simulate bit rot in the unsynced tail: flip one payload bit.
+
+        If no unsynced record exists, a full junk record with a bad CRC is
+        appended instead (a corrupted in-flight append). Synced bytes are
+        never touched. Returns True (damage always applies).
+        """
+        start, pending = self._unsynced_span()
+        if pending > HEADER_SIZE:
+            victim = start + HEADER_SIZE  # first payload byte past the sync
+            with open(self.path, "r+b") as patcher:
+                patcher.seek(victim)
+                byte = patcher.read(1)
+                patcher.seek(victim)
+                patcher.write(bytes([byte[0] ^ 0xFF]))
+        else:
+            frame = bytearray(encode_json_record({"k": "corrupt-inflight"}))
+            frame[-1] ^= 0xFF  # payload no longer matches its CRC
+            self._handle.write(bytes(frame))
+            self._handle.flush()
+        return True
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the underlying handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WalFile({self.path!r}, appends={self.appends})"

@@ -31,6 +31,17 @@ CASES = [
             "--scheme", "d2-tree", "--routing-engine", "legacy", "--json",
         ],
     ),
+    # The durability subsystem must also cost nothing when disabled: an
+    # explicit `--store memory` serializes byte-identically to a run that
+    # never mentions a store (no "durability" key, no counter drift).
+    (
+        "perfect_network_all.json",
+        [
+            "simulate", "--trace", "dtr", "--nodes", "1200",
+            "--scale", "5e-5", "--seed", "11", "--servers", "6",
+            "--store", "memory", "--json",
+        ],
+    ),
 ]
 
 
