@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""CI gate: fail on a simulate-throughput regression vs the committed baseline.
+
+Usage::
+
+    python benchmarks/check_simulate_regression.py BENCH_simulate.json \
+        [benchmarks/simulate_baseline.json]
+
+Compares the fresh report's *machine-normalized* columnar rate (ops/sec
+divided by the run's own ``machine_score`` calibration — see
+``docs/PERFORMANCE.md``) against ``columnar_normalized_ops_per_sec`` in the
+baseline file, failing when it falls below ``1 - tolerance`` of the
+baseline (default tolerance 0.15, i.e. a >15% regression). Also fails if
+the report's parity gate failed — a columnar engine that diverges from the
+per-op engine is wrong no matter how fast it is.
+
+Exit codes: 0 ok, 1 regression or parity failure, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    report_path = Path(argv[1])
+    baseline_path = Path(
+        argv[2] if len(argv) > 2
+        else Path(__file__).with_name("simulate_baseline.json")
+    )
+    try:
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    parity = report.get("parity", {})
+    if parity and not all(parity.values()):
+        print("FAIL: columnar/per-op parity gate failed in the report")
+        return 1
+
+    # Normalization cancels machine speed, not workload size: a smaller
+    # trace spends proportionally more time in fixed setup and would read
+    # as a phantom regression. The op count is deterministic for the
+    # baseline's bench_args, so a mismatch means the report was produced
+    # with different arguments — refuse to compare.
+    expected_ops = baseline.get("expected_ops")
+    measured_ops = int(report["engines"]["columnar"]["ops"])
+    if expected_ops is not None and measured_ops != int(expected_ops):
+        print(
+            f"error: report has {measured_ops} ops but the baseline was "
+            f"recorded at {expected_ops}; rerun repro bench --axis simulate "
+            f"with {' '.join(baseline.get('bench_args', []))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    measured = float(
+        report["engines"]["columnar"]["normalized_ops_per_sec"]
+    )
+    reference = float(baseline["columnar_normalized_ops_per_sec"])
+    tolerance = float(baseline.get("tolerance", 0.15))
+    floor = reference * (1.0 - tolerance)
+
+    print(
+        f"columnar normalized ops/sec: measured {measured:.4f}, "
+        f"baseline {reference:.4f}, floor {floor:.4f} "
+        f"(tolerance {tolerance:.0%})"
+    )
+    if measured < floor:
+        print(
+            f"FAIL: normalized simulate throughput regressed "
+            f"{1 - measured / reference:.1%} vs baseline (> {tolerance:.0%})"
+        )
+        return 1
+    print("ok: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,10 +1,14 @@
 """Wall-clock benchmarks (the ``repro bench`` verb).
 
-Two axes:
+Three axes:
 
 * ``--axis routing`` (:func:`bench_routing`, the default) measures route
   planning throughput; ``--axis recovery`` (:func:`bench_recovery`)
-  measures durable-store recovery time against WAL length.
+  measures durable-store recovery time against WAL length; ``--axis
+  simulate`` (:func:`bench_simulate`) measures end-to-end simulate
+  throughput of the per-op vs the columnar replay engine
+  (``BENCH_simulate.json``), gated on the two producing bit-identical
+  results.
 
 The routing axis measures the cost of *route planning* — the per-operation
 work the fast-path engine (:mod:`repro.simulation.routing`) optimises — by
@@ -27,6 +31,7 @@ benchmark report (``BENCH_throughput.json``).
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import json
 import math
@@ -40,8 +45,15 @@ from repro.cluster.client import SimClient
 from repro.simulation.routing import make_engine
 from repro.simulation.runner import SimulationConfig, simulate
 from repro.traces.generator import GeneratedWorkload
+from repro.traces.trace import Trace
 
-__all__ = ["bench_recovery", "bench_routing", "write_report"]
+__all__ = [
+    "bench_recovery",
+    "bench_routing",
+    "bench_simulate",
+    "machine_score",
+    "write_report",
+]
 
 #: Matches the simulator's client fleet default.
 BENCH_CLIENTS = 200
@@ -395,6 +407,135 @@ def bench_recovery(
         "python": platform.python_version(),
         "points": points,
     }
+
+
+# ----------------------------------------------------------------------
+# Simulate axis: end-to-end replay throughput, per-op vs columnar
+# ----------------------------------------------------------------------
+
+#: Calibration loop size for :func:`machine_score` (fixed: scores from
+#: different machines are comparable only if the loop is identical).
+_SCORE_ITERS = 200_000
+
+
+def machine_score(repeats: int = 3) -> float:
+    """Machine-speed calibration: iterations/sec of a fixed pure-Python loop.
+
+    The loop exercises the operations the simulator's hot loop lives on —
+    integer arithmetic, small-dict stores, list indexing — so dividing a
+    measured simulate throughput by this score cancels machine speed to
+    first order. That normalized figure is what
+    ``benchmarks/simulate_baseline.json`` commits and what the CI
+    regression gate compares against: absolute ops/sec are meaningless
+    across laptops and CI runners, normalized ones travel.
+    """
+    sink: Dict[int, int] = {}
+    cells = [0] * 256
+    perf = time.perf_counter
+    best: Optional[float] = None
+    for _ in range(max(1, repeats)):
+        acc = 0
+        t0 = perf()
+        for i in range(_SCORE_ITERS):
+            j = i & 255
+            sink[j] = i
+            acc += cells[j] ^ (i >> 3)
+        elapsed = perf() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return _SCORE_ITERS / best if best else 0.0
+
+
+def _timed_simulate(
+    workload: GeneratedWorkload,
+    num_servers: int,
+    scheme_name: str,
+    engine: str,
+):
+    """One timed end-to-end ``simulate`` run; returns ``(result, seconds)``."""
+    scheme = registry.create(scheme_name)
+    config = SimulationConfig(simulate_engine=engine)
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        result = simulate(scheme, workload, num_servers, config)
+        elapsed = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return result, elapsed
+
+
+def bench_simulate(
+    workload: GeneratedWorkload,
+    num_servers: int = 8,
+    scheme_name: str = "d2-tree",
+    repeats: int = 3,
+    max_ops: Optional[int] = None,
+    parity: bool = True,
+) -> Dict[str, object]:
+    """End-to-end simulate throughput: per-op engine vs columnar engine.
+
+    Both engines replay the identical workload through the full simulator
+    (dispatch, routing, locks, adjustment rounds — everything ``repro
+    simulate`` runs); the best of ``repeats`` interleaved timings is kept
+    per engine. The report carries the raw ops/sec, the columnar/per-op
+    ``speedup``, and machine-normalized rates (see :func:`machine_score`)
+    for the CI regression gate.
+
+    ``parity`` (the gate) asserts the two engines return bit-identical
+    :class:`SimulationResult` objects — the columnar engine is only a
+    faster evaluation order, never a different model. ``repro bench
+    --axis simulate`` exits non-zero when it fails.
+    """
+    if max_ops is not None:
+        trace = workload.trace
+        if not isinstance(trace, Trace):
+            trace = trace.materialize()
+        workload = dataclasses.replace(workload, trace=trace.slice(0, max_ops))
+
+    timings: Dict[str, float] = {}
+    results: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        for engine in ("perop", "columnar"):
+            result, elapsed = _timed_simulate(
+                workload, num_servers, scheme_name, engine
+            )
+            results[engine] = result
+            if engine not in timings or elapsed < timings[engine]:
+                timings[engine] = elapsed
+
+    score = machine_score()
+    operations = results["columnar"].operations
+    engines: Dict[str, Dict[str, object]] = {}
+    for engine, elapsed in timings.items():
+        rate = operations / elapsed if elapsed > 0 else 0.0
+        engines[engine] = {
+            "engine": engine,
+            "ops": operations,
+            "elapsed_seconds": elapsed,
+            "ops_per_sec": rate,
+            "normalized_ops_per_sec": rate / score if score > 0 else 0.0,
+        }
+    perop_rate = float(engines["perop"]["ops_per_sec"])
+    columnar_rate = float(engines["columnar"]["ops_per_sec"])
+    report: Dict[str, object] = {
+        "benchmark": "simulate_engine_throughput",
+        "trace": workload.trace.name,
+        "scheme": scheme_name,
+        "num_servers": num_servers,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine_score": score,
+        "engines": engines,
+        "speedup": columnar_rate / perop_rate if perop_rate > 0 else 0.0,
+    }
+    if parity:
+        report["parity"] = {
+            "columnar_matches_perop": results["columnar"] == results["perop"],
+        }
+    return report
 
 
 def write_report(report: Dict[str, object], path: str) -> None:

@@ -120,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="route planner implementation (default fast; "
                           "legacy is the pre-index per-op planner kept as "
                           "the benchmark baseline)")
+    sim.add_argument("--simulate-engine",
+                     choices=["auto", "columnar", "perop"], default=None,
+                     help="replay engine (default auto: the columnar "
+                          "array-at-a-time engine on fault-free runs, the "
+                          "per-op engine otherwise; results are "
+                          "bit-identical either way — see "
+                          "docs/PERFORMANCE.md)")
     sim.add_argument("--max-ops", type=int, default=None,
                      help="truncate the trace to this many operations "
                           "(what `repro chaos --ops` replays)")
@@ -179,12 +186,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark routing throughput or WAL recovery time",
     )
     add_workload_args(bench)
-    bench.add_argument("--axis", choices=["routing", "recovery"],
+    bench.add_argument("--axis", choices=["routing", "recovery", "simulate"],
                        default="routing",
                        help="what to measure: routing engine throughput "
-                            "(default, BENCH_throughput.json) or durable-"
+                            "(default, BENCH_throughput.json), durable-"
                             "store recovery time vs log length "
-                            "(BENCH_recovery.json)")
+                            "(BENCH_recovery.json), or end-to-end simulate "
+                            "throughput per-op vs columnar "
+                            "(BENCH_simulate.json)")
     bench.add_argument("--servers", type=int, default=8)
     bench.add_argument("--scheme", action="append", default=None,
                        choices=registry.available(), metavar="NAME",
@@ -210,7 +219,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable; default: both)")
     bench.add_argument("--out", metavar="FILE", default=None,
                        help="report path (default BENCH_throughput.json / "
-                            "BENCH_recovery.json per axis)")
+                            "BENCH_recovery.json / BENCH_simulate.json "
+                            "per axis)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -354,6 +364,8 @@ def cmd_simulate(args) -> int:
         overrides["batch_size"] = args.batch_size
     if args.routing_engine is not None:
         overrides["routing_engine"] = args.routing_engine
+    if args.simulate_engine is not None:
+        overrides["simulate_engine"] = args.simulate_engine
     if args.store is not None:
         overrides["store"] = args.store
     if args.store_dir is not None:
@@ -506,6 +518,8 @@ FIGURE_LABELS = {
 def cmd_bench(args) -> int:
     if args.axis == "recovery":
         return _cmd_bench_recovery(args)
+    if args.axis == "simulate":
+        return _cmd_bench_simulate(args)
     from repro.bench import bench_routing, write_report
 
     workload = _workload(args)
@@ -541,6 +555,41 @@ def cmd_bench(args) -> int:
     ]
     if failed:
         print(f"parity check FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_simulate(args) -> int:
+    from repro.bench import bench_simulate, write_report
+
+    workload = _workload(args)
+    scheme_name = args.scheme[0] if args.scheme else "d2-tree"
+    report = bench_simulate(
+        workload,
+        num_servers=args.servers,
+        scheme_name=scheme_name,
+        repeats=args.repeats,
+        max_ops=args.max_ops,
+        parity=not args.no_parity,
+    )
+    out = args.out or "BENCH_simulate.json"
+    write_report(report, out)
+    for engine in ("perop", "columnar"):
+        entry = report["engines"][engine]
+        print(
+            f"{engine:9s} {entry['ops_per_sec']:>12,.0f} op/s"
+            f"  ({entry['ops']:,d} ops in {entry['elapsed_seconds']:.2f}s,"
+            f"  normalized {entry['normalized_ops_per_sec']:.3f})"
+        )
+    parity = report.get("parity")
+    parity_note = (
+        "" if parity is None
+        else "  parity=OK" if all(parity.values())
+        else "  parity=FAIL"
+    )
+    print(f"columnar speedup {report['speedup']:.2f}x{parity_note} -> {out}")
+    if parity is not None and not all(parity.values()):
+        print("simulate parity FAILED: columnar != per-op", file=sys.stderr)
         return 1
     return 0
 

@@ -7,11 +7,12 @@ paper), and the traversal utilities the partitioning algorithms rely on.
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.node import PATH_SEPARATOR, MetadataNode
 
-__all__ = ["NamespaceTree", "PathTable", "split_path"]
+__all__ = ["NamespaceTree", "NodeArena", "PathTable", "split_path"]
 
 
 def split_path(path: str) -> List[str]:
@@ -116,6 +117,111 @@ class PathTable:
         return self.chain(node)[depth]
 
 
+class NodeArena:
+    """Array-backed (structure-of-arrays) view of one tree snapshot.
+
+    Where :class:`PathTable` interns *paths* for route planning, the arena
+    lays the tree's structural facts out as parallel ``array`` columns keyed
+    by dense node id — the form batch engines want for per-node load
+    accounting without touching one Python object per node per op:
+
+    * ``parent_id`` / ``depth`` / ``is_dir`` — structural columns,
+    * ``owner`` — a writable scratch column (server id per node, init ``-1``)
+      engines may fill from their placement view,
+    * :meth:`zero_loads` — a fresh per-node float load-counter window,
+    * :meth:`aggregate_popularity` — Def. 2 aggregation over the columns.
+
+    Aggregation replays the exact child→parent addition sequence of
+    :meth:`NamespaceTree.aggregate_popularity` (recorded symbolically at
+    build time), so the float sums it produces are bit-identical to the
+    object-walking version — same addends, same order. Like the path table,
+    an arena is valid for one ``structure_version`` and is re-issued by
+    :meth:`NamespaceTree.arena` after any structural mutation; popularity
+    updates do not invalidate it.
+    """
+
+    __slots__ = (
+        "tree",
+        "version",
+        "size",
+        "parent_id",
+        "depth",
+        "is_dir",
+        "owner",
+        "_agg_child",
+        "_agg_parent",
+    )
+
+    def __init__(self, tree: "NamespaceTree") -> None:
+        self.tree = tree
+        self.version = tree.structure_version
+        size = len(tree._nodes)
+        self.size = size
+        parent_id = array("q", bytes(8 * size))  # zero-filled
+        depth = array("q", bytes(8 * size))
+        is_dir = array("b", bytes(size))
+        parent_id[0] = -1
+        # One top-down walk fills the structural columns; one symbolic replay
+        # of the aggregation stack records the child->parent addition order
+        # (registration order is NOT topological after move_node).
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            nid = node.node_id
+            is_dir[nid] = 1 if node.is_directory else 0
+            child_depth = depth[nid] + 1
+            for child in node.children:
+                cid = child.node_id
+                parent_id[cid] = nid
+                depth[cid] = child_depth
+                stack.append(child)
+        agg_child = array("q")
+        agg_parent = array("q")
+        agg_stack: List[Tuple[MetadataNode, bool]] = [(tree.root, False)]
+        while agg_stack:
+            node, children_done = agg_stack.pop()
+            if children_done:
+                if node.parent is not None:
+                    agg_child.append(node.node_id)
+                    agg_parent.append(node.parent.node_id)
+            else:
+                agg_stack.append((node, True))
+                for child in node.children:
+                    agg_stack.append((child, False))
+        self.parent_id = parent_id
+        self.depth = depth
+        self.is_dir = is_dir
+        self.owner = array("q", bytes(8 * size))
+        for i in range(size):
+            self.owner[i] = -1
+        self._agg_child = agg_child
+        self._agg_parent = agg_parent
+
+    def __len__(self) -> int:
+        return self.size
+
+    def zero_loads(self) -> List[float]:
+        """A fresh per-node load-counter window (indexed by node id)."""
+        return [0.0] * self.size
+
+    def aggregate_popularity(self) -> None:
+        """Recompute ``p_j`` for every node via the column replay.
+
+        Bit-identical to :meth:`NamespaceTree.aggregate_popularity`: the
+        recorded (child, parent) sequence performs the same float additions
+        in the same order, and detached nodes keep
+        ``popularity == individual_popularity`` exactly as the object walk
+        leaves them.
+        """
+        nodes = self.tree._nodes
+        pop = [node.individual_popularity for node in nodes]
+        for cid, pid in zip(self._agg_child, self._agg_parent):
+            pop[pid] += pop[cid]
+        for nid, node in enumerate(nodes):
+            node.popularity = pop[nid]
+        self.tree._popularity_dirty = False
+
+
 class NamespaceTree:
     """A file-system namespace tree of :class:`MetadataNode` objects.
 
@@ -133,6 +239,7 @@ class NamespaceTree:
         #: compare against it to detect staleness.
         self.structure_version = 0
         self._path_table: Optional[PathTable] = None
+        self._arena: Optional[NodeArena] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -292,6 +399,17 @@ class NamespaceTree:
             table = PathTable(self)
             self._path_table = table
         return table
+
+    def arena(self) -> NodeArena:
+        """The array-backed node store for the tree's current structure.
+
+        Cached until the next structural mutation; see :class:`NodeArena`.
+        """
+        arena = self._arena
+        if arena is None or arena.version != self.structure_version:
+            arena = NodeArena(self)
+            self._arena = arena
+        return arena
 
     def node_by_id(self, node_id: int) -> MetadataNode:
         """Return the node with dense id ``node_id``."""

@@ -291,11 +291,18 @@ class FastRoutingEngine:
                 replicas = placement._servers_of[node]
                 self._replicas[nid] = replicas
                 self._replica_stamp[nid] = version
-            # pick_among, inlined. SimClient.randbelow mirrors the
-            # rejection sampling Random.randrange performs internally, so
-            # this consumes the exact same draw from the client RNG stream
-            # as the legacy planner.
-            entry = replicas[client.randbelow(len(replicas))]
+            # pick_among, inlined down to the getrandbits rejection loop —
+            # the exact algorithm SimClient.randbelow (and Random.randrange
+            # internally) runs, so this consumes the same draws from the
+            # client RNG stream as the legacy planner, without a Python
+            # call on the hottest branch of the planner.
+            n = len(replicas)
+            getrandbits = client._getrandbits
+            k = n.bit_length()
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            entry = replicas[r]
             if op is not _UPDATE:
                 try:
                     return serve_plans[entry]

@@ -39,6 +39,7 @@ from repro.simulation.stats import (
     SimulationResult,
     summarize_latencies,
 )
+from repro.traces.columns import OP_FROM_CODE, iter_op_batches
 from repro.traces.generator import GeneratedWorkload
 from repro.traces.trace import OpType, Trace
 
@@ -102,6 +103,13 @@ class SimulationConfig:
     #: index) or ``"legacy"`` (string-keyed ancestor walks). Both produce
     #: identical plans; legacy is kept as the benchmark baseline.
     routing_engine: str = "fast"
+    #: Replay engine: ``"auto"`` picks the columnar batched loop whenever the
+    #: run is eligible (fault-free, telemetry off, memory store, perfect
+    #: network) and falls back to the per-op loop otherwise; ``"columnar"``
+    #: forces the batched loop (raising if the run is ineligible);
+    #: ``"perop"`` forces the per-op loop. Both engines are bit-identical on
+    #: eligible runs — the choice is purely a throughput knob.
+    simulate_engine: str = "auto"
     #: Metadata persistence backend (``repro.storage``): ``"memory"`` (the
     #: zero-cost no-op default), ``"wal"`` or ``"sqlite"``. Durable backends
     #: journal acks/fences/subtree moves and replay them when a ``kill9``'d
@@ -703,6 +711,47 @@ class ClusterSimulator:
             self.tree.aggregate_popularity()
 
     def _run(self) -> SimulationResult:
+        """Pick the replay engine (see ``SimulationConfig.simulate_engine``)."""
+        mode = self.config.simulate_engine
+        if mode not in ("auto", "columnar", "perop"):
+            raise ValueError(
+                f"unknown simulate_engine {mode!r} "
+                "(expected 'auto', 'columnar' or 'perop')"
+            )
+        if mode == "perop":
+            return self._run_perop()
+        eligible = self._columnar_eligible()
+        if not eligible:
+            if mode == "columnar":
+                raise ValueError(
+                    "simulate_engine='columnar' needs a fault-free run: no "
+                    "fault plan or legacy failures, telemetry disabled, the "
+                    "memory store, and a perfect (non-faulty, jitter-free) "
+                    "network; use 'auto' or 'perop' for this configuration"
+                )
+            return self._run_perop()
+        return self._run_columnar()
+
+    def _columnar_eligible(self) -> bool:
+        """Whether the batched columnar loop covers this configuration.
+
+        The columnar engine implements the fault-free fast path only: every
+        branch it drops (heartbeat rounds, failure detection, retries,
+        telemetry, durability journaling) is *provably unobservable* under
+        these conditions, which is what makes it bit-identical rather than
+        merely approximate.
+        """
+        cfg = self.config
+        return (
+            not cfg.fault_plan
+            and not cfg.failures
+            and not self.telemetry.enabled
+            and not self.store_on
+            and not self.network.faulty
+            and self.network.jitter == 0
+        )
+
+    def _run_perop(self) -> SimulationResult:
         """Event-heap replay: visits are served in global time order.
 
         Each in-flight operation is an event ``(time, seq, op_state)``; a
@@ -714,7 +763,13 @@ class ClusterSimulator:
         import itertools
 
         cfg = self.config
-        records = self.trace.records
+        try:
+            records = self.trace.records
+        except TypeError:
+            # Streaming trace on the per-op engine (faults, telemetry or a
+            # durable store forced the fallback): materialize once. Only the
+            # columnar engine replays streams in fixed memory.
+            records = list(self.trace)
         # Telemetry fast path: everything below is gated on one local bool
         # and metric handles are resolved once, so a disabled run only pays
         # a handful of predicate checks per operation.
@@ -1049,6 +1104,294 @@ class ClusterSimulator:
             availability=self.availability,
             durability=durability,
         )
+
+    def _run_columnar(self) -> SimulationResult:
+        """Batched columnar replay: the fault-free fast path of
+        :meth:`_run_perop`, bit-identical on eligible runs.
+
+        The trace streams through as :class:`~repro.traces.columns.OpBatch`
+        windows (fixed memory for streaming traces); per-op dict state is
+        replaced by per-client *slot* arrays (a closed loop has at most one
+        in-flight op per client); server CPU timelines are inlined as
+        parallel lists (synced to the real objects around rebalancing, which
+        charges migration CPU on them); and per-op load counts land in an
+        arena window indexed by node id.
+
+        Parity: every dropped branch is unobservable under
+        :meth:`_columnar_eligible` — heartbeat rounds only refresh Monitor
+        liveness state that fault-free detection never reads to effect,
+        access counters/load reports only feed heartbeats, client per-op
+        stats feed nothing, and telemetry/durability hooks are disabled by
+        the gate. Everything observable — service order (same heap order:
+        identical (time, seq) keys), lock sequencing, CREATE placement, the
+        adjustment cadence with Def. 2 re-aggregation, migration charging —
+        runs through the same code or an order-exact replay of it.
+        """
+        import heapq
+        from itertools import count
+
+        cfg = self.config
+        placement = self.placement
+        scheme = self.scheme
+        tree = self.tree
+        engine_plan = self.engine.plan
+        # FastRoutingEngine: bind the scheme planner directly, hoisting the
+        # per-op interning-staleness check out of the loop. Safe because the
+        # tree is structurally static mid-replay (CREATE ops move placement,
+        # not structure) — re-intern once up front if the engine is stale.
+        planner = getattr(self.engine, "_planner", None)
+        if planner is not None:
+            if self.engine.table.version != tree.structure_version:
+                self.engine._reintern()
+            engine_plan = planner
+        is_placed = placement.is_placed
+        place_created = scheme.place_created
+        locks_acquire = self.locks.acquire
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
+        heappop = heapq.heappop
+        next_seq = count().__next__
+        hop = self.network.hop()  # constant: non-faulty, jitter-free
+        # Exactly MetadataServer.process's duration (work=1.0, slow_factor
+        # 1.0 on every server in a fault-free run).
+        service = 1.0 * cfg.service_time * 1.0
+        fan_cost = cfg.replica_write_work * cfg.service_time
+        lock_hold = cfg.lock_hold_time
+        adjust_every = cfg.adjust_every_ops
+        decode = OP_FROM_CODE
+        REDIRECT = VisitKind.REDIRECT
+
+        arena = tree.arena()  # static structure mid-replay
+        window = arena.zero_loads()
+
+        servers = self.servers
+        busy_until = [s.cpu.busy_until for s in servers]
+        busy_time = [s.cpu.busy_time for s in servers]
+        served = [s.cpu.served for s in servers]
+
+        def sync_out() -> None:
+            for i, srv in enumerate(servers):
+                cpu = srv.cpu
+                cpu.busy_until = busy_until[i]
+                cpu.busy_time = busy_time[i]
+                cpu.served = served[i]
+
+        def sync_in() -> None:
+            for i, srv in enumerate(servers):
+                cpu = srv.cpu
+                busy_until[i] = cpu.busy_until
+                busy_time[i] = cpu.busy_time
+                served[i] = cpu.served
+
+        batches = iter_op_batches(self.trace, tree)
+        b_codes: List[int] = []
+        b_nids: List[int] = []
+        b_nodes: List = []
+        b_len = 0
+        b_idx = 0
+        dispatched = 0
+        created = 0
+
+        num_slots = cfg.num_clients
+        clients = self.clients[:num_slots]
+        slot_plan: List[Optional[RoutePlan]] = [None] * num_slots
+        slot_visit = [0] * num_slots
+        slot_start = [0.0] * num_slots
+        slot_nid = [0] * num_slots
+        #: server -> interned single-SERVE plan for CREATE placements (the
+        #: per-op loop builds a fresh identical plan each time; plans are
+        #: immutable, so sharing cannot change behaviour).
+        create_plans: Dict[int, RoutePlan] = {}
+
+        latencies: List[float] = []
+        lat_append = latencies.append
+        redirects = 0
+        jumps_total = 0
+        makespan = 0.0
+        completed = 0
+        events: List = []
+
+        # Dispatch is inlined twice below — at the seed loop and at the
+        # completion site — instead of living in a closure: the hot loop
+        # then runs on plain locals (no cell-variable indirection) and pays
+        # no per-op call. The two copies must stay line-for-line identical
+        # apart from how the new event enters the heap.
+        for slot in range(num_slots):
+            if b_idx >= b_len:
+                batch = next(batches, None)
+                if batch is None:
+                    break
+                b_codes = batch.op_codes
+                b_nids = batch.node_ids
+                b_nodes = batch.nodes
+                b_len = len(b_codes)
+                b_idx = 0
+            i = b_idx
+            b_idx = i + 1
+            node = b_nodes[i]
+            dispatched += 1
+            if is_placed(node):
+                plan = engine_plan(clients[slot], node, decode[b_codes[i]])
+            else:
+                # CREATE (or first touch of a late node). No dead-server
+                # fallback: fault-free, the Monitor never evicts anyone.
+                server = place_created(tree, placement, node)
+                created += 1
+                plan = create_plans.get(server)
+                if plan is None:
+                    plan = RoutePlan(visits=[Visit(server, VisitKind.SERVE)])
+                    create_plans[server] = plan
+            arrival = hop
+            if plan.lock_key:
+                arrival = locks_acquire(plan.lock_key, arrival, lock_hold)
+            slot_plan[slot] = plan
+            slot_visit[slot] = 0
+            slot_start[slot] = 0.0
+            slot_nid[slot] = b_nids[i]
+            heappush(events, (arrival, next_seq(), slot))
+
+        while events:
+            now, _tick, slot = events[0]  # peek; replaced or popped below
+            plan = slot_plan[slot]
+            visits = plan.visits
+            vidx = slot_visit[slot]
+            sid = visits[vidx][0]
+            # Inlined ResourceTimeline.serve (FIFO busy-until clock).
+            busy = busy_until[sid]
+            begin = now if now > busy else busy
+            end = begin + service
+            busy_until[sid] = end
+            busy_time[sid] += service
+            served[sid] += 1
+            vidx += 1
+            nvis = len(visits)
+            if vidx < nvis:
+                slot_visit[slot] = vidx
+                heapreplace(events, (end + hop, next_seq(), slot))
+                continue
+            # Final visit done: async replica fan-out, then completion.
+            for fs in plan.fanout:
+                # Inlined ResourceTimeline.serve_background.
+                busy_until[fs] += fan_cost
+                busy_time[fs] += fan_cost
+                served[fs] += 1
+            completion = end + hop
+            if nvis == 1:
+                if visits[0][1] is REDIRECT:
+                    redirects += 1
+            else:
+                jumps_total += nvis - 1
+                for visit in visits:
+                    if visit[1] is REDIRECT:
+                        redirects += 1
+                        break
+            lat_append(completion - slot_start[slot])
+            if completion > makespan:
+                makespan = completion
+            window[slot_nid[slot]] += 1.0
+            completed += 1
+            if adjust_every and completed % adjust_every == 0:
+                # Rebalancing charges migration CPU on the real timeline
+                # objects, so the inlined columns sync out and back in.
+                sync_out()
+                self._adjust_columnar(completion, window, arena)
+                sync_in()
+                window = arena.zero_loads()
+            # Inlined dispatch (see the seed loop above).
+            if b_idx >= b_len:
+                batch = next(batches, None)
+                if batch is None:
+                    heappop(events)
+                    continue
+                b_codes = batch.op_codes
+                b_nids = batch.node_ids
+                b_nodes = batch.nodes
+                b_len = len(b_codes)
+                b_idx = 0
+            i = b_idx
+            b_idx = i + 1
+            node = b_nodes[i]
+            dispatched += 1
+            if is_placed(node):
+                plan = engine_plan(clients[slot], node, decode[b_codes[i]])
+            else:
+                server = place_created(tree, placement, node)
+                created += 1
+                plan = create_plans.get(server)
+                if plan is None:
+                    plan = RoutePlan(visits=[Visit(server, VisitKind.SERVE)])
+                    create_plans[server] = plan
+            arrival = completion + hop
+            if plan.lock_key:
+                arrival = locks_acquire(plan.lock_key, arrival, lock_hold)
+            slot_plan[slot] = plan
+            slot_visit[slot] = 0
+            slot_start[slot] = completion
+            slot_nid[slot] = b_nids[i]
+            heapreplace(events, (arrival, next_seq(), slot))
+
+        self.created += created
+
+        sync_out()
+        # Fault-free, every dispatched op completes exactly once; the bulk
+        # add matches the per-op loop's per-dispatch increments.
+        self.ops_issued += dispatched
+        operations = len(latencies)
+        return SimulationResult(
+            scheme=self.scheme.name,
+            trace=self.trace.name,
+            num_servers=self.num_servers,
+            operations=operations,
+            makespan=makespan,
+            throughput=operations / makespan if makespan > 0 else 0.0,
+            latency=summarize_latencies(latencies),
+            server_visits=[server.served for server in self.servers],
+            server_utilization=[
+                server.cpu.utilization(makespan) for server in self.servers
+            ],
+            redirects=redirects,
+            migrations=self.migrations,
+            lock_waits=self.locks.total_wait,
+            jumps_total=jumps_total,
+            availability=self.availability,
+            durability=None,
+        )
+
+    def _adjust_columnar(self, now: float, window: List[float], arena) -> None:
+        """The eligible-run subset of :meth:`_adjust`.
+
+        Same popularity blend (identical float expression over the same
+        node order), same Def. 2 re-aggregation (the arena replays the
+        object walk's addition order exactly), same heartbeat load reports
+        to the Monitor, same rebalance + migration charging. The one
+        divergence is unobservable: per-visit decaying access counters are
+        not maintained (the hot loop skips ``record_access``), so the
+        heartbeat's decayed-load estimate is 0.0 — nothing fault-free
+        consumes it (rebalance reads tree popularity and placement only),
+        and the liveness bookkeeping (``last_seen``) is identical.
+        """
+        blend = self.config.popularity_blend
+        for node in self.tree:
+            observed = window[node.node_id]
+            node.individual_popularity = (
+                (1 - blend) * node.individual_popularity + blend * observed
+            )
+        arena.aggregate_popularity()
+        loads = self.placement.loads()
+        capacities = self.placement.capacities
+        total_cap = sum(capacities)
+        mu = sum(loads) / total_cap if total_cap > 0 else 0.0
+        for server in self.servers:
+            # Every server is alive and the network perfect (eligibility),
+            # so the per-op loop's liveness/delivery branches never fire.
+            load = server.load_report(now)
+            relative = loads[server.server_id] - mu * capacities[server.server_id]
+            self.monitor.on_heartbeat(
+                Heartbeat(server.server_id, now, load, relative)
+            )
+        moves = self.monitor.rebalance(now)
+        self.migrations += len(moves)
+        self._charge_migrations(moves)
 
     def close(self) -> None:
         """Release the durable store's files (idempotent)."""

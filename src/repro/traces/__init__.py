@@ -1,6 +1,13 @@
 """Trace substrate: synthetic equivalents of the paper's Microsoft traces."""
 
 from repro.traces.bundle import BUNDLE_VERSION, load_workload_bundle, save_workload
+from repro.traces.columns import (
+    DEFAULT_BATCH_OPS,
+    OP_CODES,
+    OP_FROM_CODE,
+    OpBatch,
+    iter_op_batches,
+)
 from repro.traces.datasets import (
     DEFAULT_SCALE,
     PAPER_RECORD_COUNTS,
@@ -13,28 +20,46 @@ from repro.traces.generator import (
     TraceGenerator,
     ZipfSampler,
     load_workload,
+    stream_workload,
 )
-from repro.traces.io import dumps_trace, load_trace, loads_trace, save_trace
-from repro.traces.trace import OpType, Trace, TraceRecord
+from repro.traces.io import (
+    dumps_trace,
+    iter_trace_records,
+    load_trace,
+    loads_trace,
+    open_trace,
+    save_trace,
+)
+from repro.traces.trace import OpType, StreamingTrace, Trace, TraceOps, TraceRecord
 
 __all__ = [
     "BUNDLE_VERSION",
+    "DEFAULT_BATCH_OPS",
     "DEFAULT_SCALE",
     "DatasetProfile",
     "GeneratedWorkload",
+    "OP_CODES",
+    "OP_FROM_CODE",
+    "OpBatch",
     "OpType",
     "PAPER_RECORD_COUNTS",
     "PAPER_TRACE_SIZES_GB",
+    "StreamingTrace",
     "Trace",
     "TraceGenerator",
+    "TraceOps",
     "TraceRecord",
     "ZipfSampler",
     "all_profiles",
     "dumps_trace",
+    "iter_op_batches",
+    "iter_trace_records",
     "load_trace",
     "load_workload",
     "load_workload_bundle",
-    "save_workload",
     "loads_trace",
+    "open_trace",
     "save_trace",
+    "save_workload",
+    "stream_workload",
 ]

@@ -3,67 +3,138 @@
 Each line is ``timestamp<TAB>op<TAB>client_id<TAB>path``; the header carries
 the trace name and description. Round-tripping is lossless, so generated
 workloads can be archived and replayed across runs.
+
+Both directions stream: :func:`save_trace` writes records one at a time
+(accepting a :class:`~repro.traces.trace.StreamingTrace` without ever
+materializing it), and :func:`open_trace` wraps a file as a restartable
+streaming trace — :func:`iter_trace_records` underneath holds one line in
+memory at a time, so a 10M-op trace file replays in fixed memory.
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import Union
+from typing import Iterable, Iterator, TextIO, Tuple, Union
 
-from repro.traces.trace import OpType, Trace, TraceRecord
+from repro.traces.trace import OpType, StreamingTrace, Trace, TraceRecord
 
-__all__ = ["save_trace", "load_trace", "dumps_trace", "loads_trace"]
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "dumps_trace",
+    "loads_trace",
+    "open_trace",
+    "iter_trace_records",
+]
 
 _HEADER_PREFIX = "#trace"
 
 
-def dumps_trace(trace: Trace) -> str:
-    """Serialize a trace to its text form."""
-    out = io.StringIO()
-    description = trace.description.replace("\n", " ")
-    out.write(f"{_HEADER_PREFIX}\t{trace.name}\t{description}\n")
-    for record in trace.records:
+def _write_trace(trace: Iterable[TraceRecord], out: TextIO, name: str, description: str) -> None:
+    description = description.replace("\n", " ")
+    out.write(f"{_HEADER_PREFIX}\t{name}\t{description}\n")
+    for record in trace:
         out.write(
             f"{record.timestamp:.6f}\t{record.op.value}\t{record.client_id}\t{record.path}\n"
         )
+
+
+def _parse_header(line: str) -> Tuple[str, str]:
+    if not line.startswith(_HEADER_PREFIX):
+        raise ValueError("missing trace header line")
+    header = line.rstrip("\n").split("\t")
+    if len(header) < 2:
+        raise ValueError("malformed trace header")
+    name = header[1]
+    description = header[2] if len(header) > 2 else ""
+    return name, description
+
+
+def _parse_line(lineno: int, line: str) -> TraceRecord:
+    parts = line.split("\t")
+    if len(parts) != 4:
+        raise ValueError(f"line {lineno}: expected 4 tab-separated fields")
+    timestamp, op, client_id, path = parts
+    return TraceRecord(
+        timestamp=float(timestamp),
+        op=OpType(op),
+        client_id=int(client_id),
+        path=path,
+    )
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize a trace to its text form (accepts streaming traces too)."""
+    out = io.StringIO()
+    _write_trace(trace, out, trace.name, trace.description)
     return out.getvalue()
 
 
 def loads_trace(text: str) -> Trace:
     """Parse a trace from its text form."""
     lines = text.splitlines()
-    if not lines or not lines[0].startswith(_HEADER_PREFIX):
+    if not lines:
         raise ValueError("missing trace header line")
-    header = lines[0].split("\t")
-    if len(header) < 2:
-        raise ValueError("malformed trace header")
-    name = header[1]
-    description = header[2] if len(header) > 2 else ""
+    name, description = _parse_header(lines[0])
     records = []
     for lineno, line in enumerate(lines[1:], start=2):
         if not line.strip():
             continue
-        parts = line.split("\t")
-        if len(parts) != 4:
-            raise ValueError(f"line {lineno}: expected 4 tab-separated fields")
-        timestamp, op, client_id, path = parts
-        records.append(
-            TraceRecord(
-                timestamp=float(timestamp),
-                op=OpType(op),
-                client_id=int(client_id),
-                path=path,
-            )
-        )
+        records.append(_parse_line(lineno, line))
     return Trace(name=name, records=records, description=description)
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
-    """Write a trace to ``path``."""
-    Path(path).write_text(dumps_trace(trace), encoding="utf-8")
+    """Write a trace to ``path``, streaming one record at a time.
+
+    Accepts any record iterable with ``name``/``description`` attributes —
+    a :class:`Trace` or a :class:`StreamingTrace` — so saving never requires
+    the record list in memory.
+    """
+    with Path(path).open("w", encoding="utf-8") as out:
+        _write_trace(trace, out, trace.name, trace.description)
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace from ``path``."""
+    """Read a trace from ``path`` into a fully materialized :class:`Trace`."""
     return loads_trace(Path(path).read_text(encoding="utf-8"))
+
+
+def iter_trace_records(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream the records of a trace file, one line at a time.
+
+    Validates the header, skips blank lines, and raises the same errors as
+    :func:`loads_trace` — the two parse identical files identically; only
+    the memory profile differs (O(1) here vs O(records)).
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        header = handle.readline()
+        if not header:
+            raise ValueError("missing trace header line")
+        _parse_header(header)
+        for lineno, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            yield _parse_line(lineno, line)
+
+
+def open_trace(path: Union[str, Path]) -> StreamingTrace:
+    """Wrap a trace file as a restartable :class:`StreamingTrace`.
+
+    The header is read eagerly (so bad files fail fast and the name and
+    description are available); records are re-read from disk on every
+    iteration. Use :func:`load_trace` when the record list itself is needed.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header = handle.readline()
+        if not header:
+            raise ValueError("missing trace header line")
+        name, description = _parse_header(header)
+    return StreamingTrace(
+        name=name,
+        factory=lambda: iter_trace_records(path),
+        description=description,
+    )

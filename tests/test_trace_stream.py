@@ -1,0 +1,129 @@
+"""Streaming trace generation: byte-identity with the materialized path.
+
+The contract under test (ISSUE: columnar engine): ``TraceGenerator.stream()``
+/ ``stream_workload`` must yield record-for-record exactly what
+``generate()`` / ``load_workload`` materializes — same tree, same CREATE
+conversions, same one-pass statistics — while holding O(1) records in
+memory, so million-op traces replay in fixed space.
+"""
+
+import dataclasses
+import tracemalloc
+
+import pytest
+
+from repro.traces import DatasetProfile, StreamingTrace, TraceGenerator
+from repro.traces.generator import load_workload, stream_workload
+
+
+def _profiles():
+    base = DatasetProfile.dtr(num_nodes=900, scale=4e-5)
+    return [
+        ("plain", dataclasses.replace(base, seed=5)),
+        (
+            "creates",
+            dataclasses.replace(base, seed=6, create_fraction=0.1),
+        ),
+        (
+            "lmbe",
+            dataclasses.replace(
+                DatasetProfile.lmbe(num_nodes=700, scale=2e-5), seed=7
+            ),
+        ),
+    ]
+
+
+@pytest.mark.parametrize(
+    "profile", [p for _, p in _profiles()], ids=[n for n, _ in _profiles()]
+)
+def test_stream_matches_generate(profile):
+    """Streamed records are byte-identical to the materialized trace."""
+    materialized = TraceGenerator(profile, num_clients=16).generate()
+    streamed = TraceGenerator(profile, num_clients=16).stream()
+    assert isinstance(streamed.trace, StreamingTrace)
+    assert list(streamed.trace) == materialized.trace.records
+    assert streamed.late_created_paths == materialized.late_created_paths
+    assert [n.path for n in streamed.hot_nodes] == [
+        n.path for n in materialized.hot_nodes
+    ]
+    # Both generators apply the same popularity backfill to their trees.
+    mat_nodes = {n.path: n for n in materialized.tree}
+    for node in streamed.tree:
+        twin = mat_nodes.pop(node.path)
+        assert node.individual_popularity == twin.individual_popularity
+        assert node.update_cost == twin.update_cost
+    assert not mat_nodes
+
+
+def test_stream_is_restartable():
+    """A StreamingTrace re-generates identical records on every iteration."""
+    profile = dataclasses.replace(
+        DatasetProfile.dtr(num_nodes=500, scale=2e-5), seed=9,
+        create_fraction=0.08,
+    )
+    workload = TraceGenerator(profile, num_clients=8).stream()
+    assert list(workload.trace) == list(workload.trace)
+
+
+def test_stream_len_and_one_pass_stats():
+    """len() and the TraceOps one-pass statistics match the materialized
+    trace (the stats contract: one sweep, no record list)."""
+    profile = dataclasses.replace(
+        DatasetProfile.dtr(num_nodes=500, scale=2e-5), seed=10
+    )
+    streamed = TraceGenerator(profile, num_clients=8).stream()
+    materialized = TraceGenerator(profile, num_clients=8).generate()
+    assert len(streamed.trace) == profile.num_operations
+    assert len(streamed.trace) == len(materialized.trace)
+    assert streamed.trace.duration == materialized.trace.duration
+    assert (
+        streamed.trace.operation_breakdown()
+        == materialized.trace.operation_breakdown()
+    )
+    assert streamed.trace.paths() == materialized.trace.paths()
+    assert streamed.trace.max_depth() == materialized.trace.max_depth()
+
+
+def test_streaming_trace_records_raises():
+    """The record-list API is explicitly unavailable on streaming traces."""
+    profile = dataclasses.replace(
+        DatasetProfile.dtr(num_nodes=400, scale=2e-5), seed=11
+    )
+    workload = TraceGenerator(profile, num_clients=8).stream()
+    with pytest.raises(TypeError):
+        workload.trace.records
+    materialized = workload.trace.materialize()
+    assert materialized.records == list(workload.trace)
+
+
+def test_stream_workload_cached():
+    """stream_workload memoises per profile, like load_workload."""
+    profile = dataclasses.replace(
+        DatasetProfile.dtr(num_nodes=400, scale=2e-5), seed=12
+    )
+    first = stream_workload(profile)
+    assert stream_workload(profile) is first
+    assert list(first.trace) == load_workload(profile).trace.records
+
+
+@pytest.mark.slow
+def test_stream_million_ops_bounded_memory():
+    """1M-op smoke: a streamed trace iterates in fixed memory.
+
+    The materialized equivalent holds ~1M TraceRecord objects (hundreds of
+    MB); the streaming iterator must stay within a few MB above its
+    baseline no matter the trace length.
+    """
+    profile = dataclasses.replace(
+        DatasetProfile.dtr(num_nodes=4000, scale=1.0),
+        seed=3,
+        num_operations=1_000_000,
+    )
+    workload = TraceGenerator(profile, num_clients=20).stream()
+    tracemalloc.start()
+    base = tracemalloc.get_traced_memory()[0]
+    count = sum(1 for _ in workload.trace)
+    peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    assert count == 1_000_000
+    assert peak - base < 8 * 1024 * 1024  # fixed memory: < 8 MB above base
