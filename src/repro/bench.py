@@ -1,6 +1,6 @@
 """Wall-clock benchmarks (the ``repro bench`` verb).
 
-Three axes:
+Four axes:
 
 * ``--axis routing`` (:func:`bench_routing`, the default) measures route
   planning throughput; ``--axis recovery`` (:func:`bench_recovery`)
@@ -8,7 +8,11 @@ Three axes:
   simulate`` (:func:`bench_simulate`) measures end-to-end simulate
   throughput of the per-op vs the columnar replay engine
   (``BENCH_simulate.json``), gated on the two producing bit-identical
-  results.
+  results; ``--axis failover`` (:func:`bench_failover`) replays a seeded
+  crash → recover schedule with sampled tracing on and reads detection /
+  recovery / downtime latency off the cluster-lifecycle spans
+  (``BENCH_failover.json``). ``--axis all`` runs every axis and appends
+  one :func:`trend_record` per axis to ``benchmarks/trends.jsonl``.
 
 The routing axis measures the cost of *route planning* — the per-operation
 work the fast-path engine (:mod:`repro.simulation.routing`) optimises — by
@@ -48,10 +52,13 @@ from repro.traces.generator import GeneratedWorkload
 from repro.traces.trace import Trace
 
 __all__ = [
+    "append_trend",
+    "bench_failover",
     "bench_recovery",
     "bench_routing",
     "bench_simulate",
     "machine_score",
+    "trend_record",
     "write_report",
 ]
 
@@ -536,6 +543,202 @@ def bench_simulate(
             "columnar_matches_perop": results["columnar"] == results["perop"],
         }
     return report
+
+
+# ----------------------------------------------------------------------
+# Failover axis: span-derived detection → quiescence latency
+# ----------------------------------------------------------------------
+
+#: Chaos-grade liveness clocks (match ``repro chaos``): tight enough that a
+#: mid-trace crash is detected, rehomed and recovered within the run.
+FAILOVER_CLOCKS = {
+    "heartbeat_interval": 0.01,
+    "heartbeat_timeout": 0.03,
+    "monitor_lease_timeout": 0.05,
+}
+
+
+def bench_failover(
+    workload: GeneratedWorkload,
+    num_servers: int = 4,
+    scheme_name: str = "d2-tree",
+    repeats: int = 3,
+    max_ops: Optional[int] = None,
+    trace_sample: int = 10,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Measure failover latency from cluster-lifecycle spans.
+
+    Replays the workload under a seeded crash → recover schedule (one MDS
+    crashes at 10% of the trace and rejoins at 60%) with sampled tracing
+    on, then reads the latency ladder straight off the span stream:
+
+    * ``detection_seconds`` — the ``heartbeat_miss`` window (last heartbeat
+      silence until the Monitor declares the server dead),
+    * ``recovery_seconds`` — the ``recovery`` span (detection until the
+      rejoin directive committed and its subtrees moved back), and
+    * ``downtime_seconds`` — detection start → rejoin quiescence, the
+      span-derived end-to-end unavailability of the crashed server.
+
+    The simulated clocks are deterministic (identical across repeats);
+    only the wall-clock ``elapsed_seconds`` keeps the best of ``repeats``.
+    """
+    from repro.simulation import FaultEvent, FaultKind, FaultPlan
+    from repro.simulation.runner import ClusterSimulator
+
+    if max_ops is not None:
+        trace = workload.trace
+        if not isinstance(trace, Trace):
+            trace = trace.materialize()
+        workload = dataclasses.replace(workload, trace=trace.slice(0, max_ops))
+    overrides: Dict[str, object] = dict(FAILOVER_CLOCKS)
+    if seed is not None:
+        overrides["seed"] = seed
+    # Probe the fault-free makespan first (cheap: columnar-eligible), then
+    # schedule the crash/recover by *time* — time-triggered faults always
+    # precede later heartbeat ticks, so the detection window is a real
+    # silence-until-declared measurement rather than an op-count artifact.
+    probe = simulate(
+        registry.create(scheme_name), workload, num_servers,
+        SimulationConfig(**overrides),
+    )
+    crash_time = probe.makespan * 0.1
+    recover_time = probe.makespan * 0.6
+    victim = 1 % num_servers
+    plan = FaultPlan([
+        FaultEvent(FaultKind("crash"), victim, at_time=crash_time),
+        FaultEvent(FaultKind("recover"), victim, at_time=recover_time),
+    ])
+    config = SimulationConfig(
+        fault_plan=plan, trace_sample=trace_sample, **overrides
+    )
+
+    best: Optional[float] = None
+    spans = None
+    result = None
+    for _ in range(max(1, repeats)):
+        sim = ClusterSimulator(
+            registry.create(scheme_name), workload, num_servers, config
+        )
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = sim.run()
+            elapsed = time.perf_counter() - t0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            sim.close()
+        spans = sim.spans.spans
+        if best is None or elapsed < best:
+            best = elapsed
+
+    detect_start: Dict[int, float] = {}
+    detections: List[Dict[str, object]] = []
+    recoveries: List[Dict[str, object]] = []
+    downtime: List[Dict[str, object]] = []
+    for span in spans:
+        if span.op is not None:
+            continue
+        fields = dict(span.fields)
+        server = fields.get("server")
+        if span.name == "heartbeat_miss":
+            detect_start[server] = span.t0
+            detections.append({"server": server, "seconds": span.duration})
+        elif span.name == "recovery":
+            recoveries.append({"server": server, "seconds": span.duration})
+            if server in detect_start:
+                downtime.append({
+                    "server": server,
+                    "seconds": span.t1 - detect_start.pop(server),
+                })
+
+    def _mean(rows: List[Dict[str, object]]) -> float:
+        return (
+            sum(float(r["seconds"]) for r in rows) / len(rows) if rows else 0.0
+        )
+
+    availability = result.availability
+    report: Dict[str, object] = {
+        "benchmark": "failover_latency",
+        "trace": workload.trace.name,
+        "scheme": scheme_name,
+        "num_servers": num_servers,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "trace_sample": trace_sample,
+        "crash_at_seconds": crash_time,
+        "recover_at_seconds": recover_time,
+        "victim": victim,
+        "clocks": dict(FAILOVER_CLOCKS),
+        "detections": detections,
+        "recoveries": recoveries,
+        "downtime": downtime,
+        "mean_detection_seconds": _mean(detections),
+        "mean_recovery_seconds": _mean(recoveries),
+        "mean_downtime_seconds": _mean(downtime),
+        "operations": result.operations,
+        "elapsed_seconds": best,
+    }
+    if availability is not None:
+        report["impacted_ops"] = availability.impacted
+    return report
+
+
+# ----------------------------------------------------------------------
+# Trend log: one compact record per measured axis, appended over time
+# ----------------------------------------------------------------------
+
+def trend_record(axis: str, report: Dict[str, object]) -> Dict[str, object]:
+    """Distil one axis report into a small, diff-friendly trend record.
+
+    Only headline scalars survive — the full report lives in the per-axis
+    ``BENCH_<axis>.json``; the trend log exists to plot a handful of
+    numbers over many runs.
+    """
+    record: Dict[str, object] = {
+        "axis": axis,
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "trace": report.get("trace"),
+    }
+    if axis == "routing":
+        record["speedup_geomean"] = report["speedup_geomean"]
+    elif axis == "recovery":
+        record["records_per_sec"] = {
+            point["backend"]: max(
+                float(p["records_per_sec"])
+                for p in report["points"]
+                if p["backend"] == point["backend"]
+            )
+            for point in report["points"]
+        }
+        record.pop("trace")
+    elif axis == "simulate":
+        record["speedup"] = report["speedup"]
+        record["normalized_columnar_ops_per_sec"] = (
+            report["engines"]["columnar"]["normalized_ops_per_sec"]
+        )
+    elif axis == "failover":
+        record["mean_detection_seconds"] = report["mean_detection_seconds"]
+        record["mean_recovery_seconds"] = report["mean_recovery_seconds"]
+        record["mean_downtime_seconds"] = report["mean_downtime_seconds"]
+    else:
+        raise ValueError(f"unknown bench axis: {axis}")
+    return record
+
+
+def append_trend(record: Dict[str, object], path: str) -> None:
+    """Append one trend record to the JSONL trend log (created on demand)."""
+    import os
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        handle.write("\n")
 
 
 def write_report(report: Dict[str, object], path: str) -> None:

@@ -430,11 +430,15 @@ def run_case(
     plan: Optional[FaultPlan] = None,
     store: str = "memory",
     store_dir: Optional[str] = None,
+    trace_sample: int = 0,
 ) -> ChaosCase:
     """One seeded chaos run: schedule, replay, quiesce, check.
 
     A durable ``store`` (``"wal"``/``"sqlite"``) turns on the kill9 fault
     family in generated schedules and the fifth (durability) invariant.
+    ``trace_sample`` > 0 records causal spans for every Nth op plus the
+    failover/recovery lifecycle (read them off ``sim.spans`` or export via
+    ``repro simulate --trace-sample`` for the CLI path).
     """
     durable = store != "memory"
     if plan is None:
@@ -456,6 +460,7 @@ def run_case(
         monitor_lease_timeout=CHAOS_LEASE_TIMEOUT,
         store=store,
         store_dir=store_dir,
+        trace_sample=trace_sample,
     )
     sim = ClusterSimulator(scheme, workload, num_servers, config)
     try:
@@ -498,6 +503,7 @@ def run_chaos(
     routing_engine: str = "fast",
     store: str = "memory",
     store_dir: Optional[str] = None,
+    trace_sample: int = 0,
 ) -> ChaosReport:
     """Run one chaos case per seed and aggregate the outcomes."""
     report = ChaosReport(
@@ -517,6 +523,7 @@ def run_chaos(
                 routing_engine=routing_engine,
                 store=store,
                 store_dir=store_dir,
+                trace_sample=trace_sample,
             )
         )
     return report

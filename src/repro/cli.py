@@ -18,6 +18,7 @@ records the full telemetry stream (see ``docs/OBSERVABILITY.md``).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import sys
@@ -180,20 +181,33 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--no-op-events", action="store_true",
                      help="with --metrics-out: skip per-operation lifecycle "
                           "events (keep cluster events and gauge series)")
+    sim.add_argument("--trace-sample", type=int, default=None, metavar="N",
+                     help="record causal span trees for every Nth operation "
+                          "(deterministic head sampling keyed off the op "
+                          "id; spans land in --metrics-out and feed "
+                          "`repro report --critical-path` / --perfetto; "
+                          "fault-free sampled runs stay on the columnar "
+                          "engine — see docs/OBSERVABILITY.md)")
 
     bench = sub.add_parser(
         "bench",
         help="benchmark routing throughput or WAL recovery time",
     )
     add_workload_args(bench)
-    bench.add_argument("--axis", choices=["routing", "recovery", "simulate"],
+    bench.add_argument("--axis",
+                       choices=["routing", "recovery", "simulate",
+                                "failover", "all"],
                        default="routing",
                        help="what to measure: routing engine throughput "
                             "(default, BENCH_throughput.json), durable-"
                             "store recovery time vs log length "
-                            "(BENCH_recovery.json), or end-to-end simulate "
+                            "(BENCH_recovery.json), end-to-end simulate "
                             "throughput per-op vs columnar "
-                            "(BENCH_simulate.json)")
+                            "(BENCH_simulate.json), span-derived failover "
+                            "detection/recovery latency under a seeded "
+                            "crash schedule (BENCH_failover.json), or "
+                            "'all': every axis in sequence, one trend "
+                            "record per axis appended to --trends")
     bench.add_argument("--servers", type=int, default=8)
     bench.add_argument("--scheme", action="append", default=None,
                        choices=registry.available(), metavar="NAME",
@@ -218,9 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recovery axis: backend to measure "
                             "(repeatable; default: both)")
     bench.add_argument("--out", metavar="FILE", default=None,
-                       help="report path (default BENCH_throughput.json / "
-                            "BENCH_recovery.json / BENCH_simulate.json "
-                            "per axis)")
+                       help="report path (default BENCH_<axis>.json; "
+                            "ignored by --axis all, which always writes "
+                            "the per-axis defaults)")
+    bench.add_argument("--trends", metavar="FILE", default=None,
+                       help="append one compact-JSON trend record per "
+                            "measured axis to FILE "
+                            "(default benchmarks/trends.jsonl with "
+                            "--axis all, off otherwise)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -251,6 +270,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--store-dir", metavar="DIR", default=None,
                        help="directory for the durable store backends "
                             "(default: a self-cleaning temp dir)")
+    chaos.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                       help="record causal spans for every Nth op in each "
+                            "case (the failover/recovery lifecycle is "
+                            "always spanned when sampling is on)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full ChaosReport as JSON")
 
@@ -280,6 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--csv", metavar="PREFIX", default=None,
                      help="also export PREFIX.samples.csv and "
                           "PREFIX.events.csv")
+    rep.add_argument("--critical-path", action="store_true",
+                     help="render the critical-path latency attribution "
+                          "report (from span records; see simulate "
+                          "--trace-sample) instead of the dashboard")
+    rep.add_argument("--critical-json", metavar="FILE", default=None,
+                     help="write the critical-path analysis as JSON "
+                          "(an array when the input holds several runs)")
+    rep.add_argument("--perfetto", metavar="FILE", default=None,
+                     help="export span records as a Chrome trace-event "
+                          "file loadable in ui.perfetto.dev / "
+                          "chrome://tracing")
     return parser
 
 
@@ -372,31 +406,60 @@ def cmd_simulate(args) -> int:
         overrides["store_dir"] = args.store_dir
     if args.seed is not None:
         overrides["seed"] = args.seed
+    trace_sample = args.trace_sample or 0
+    if trace_sample < 0:
+        print("error: --trace-sample must be positive", file=sys.stderr)
+        return 2
+    if trace_sample:
+        overrides["trace_sample"] = trace_sample
+        if not args.metrics_out:
+            print("note: --trace-sample spans are only visible via "
+                  "--metrics-out", file=sys.stderr)
     config = SimulationConfig(**overrides) if overrides else None
     want_telemetry = bool(args.metrics_out or args.metrics_prom)
+    # Sampled tracing does not need full telemetry: a disabled Telemetry
+    # shell still carries the span stream, and — unlike enabled telemetry —
+    # keeps fault-free runs eligible for the columnar engine.
+    span_only = (
+        trace_sample > 0
+        and not args.fault
+        and args.store in (None, "memory")
+        and args.simulate_engine != "perop"
+        and not args.metrics_prom
+    )
     results_json: List[dict] = []
     for index, scheme in enumerate(_schemes(args.scheme)):
         telemetry = None
         if want_telemetry:
             from repro.obs import Telemetry
 
-            telemetry = Telemetry(record_ops=not args.no_op_events)
-        try:
-            result = simulate(
-                scheme, workload, args.servers, config, telemetry=telemetry
-            )
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
-        if args.metrics_out:
-            from repro.obs import write_jsonl
+            if span_only:
+                telemetry = Telemetry(enabled=False)
+            else:
+                telemetry = Telemetry(record_ops=not args.no_op_events)
+        with contextlib.ExitStack() as stack:
+            exporter = None
+            if args.metrics_out:
+                from repro.obs import JsonlExporter
 
-            count = write_jsonl(
-                telemetry, args.metrics_out,
-                summary=result.to_dict(), append=index > 0,
-            )
-            print(f"wrote {count} telemetry records to {args.metrics_out}",
-                  file=sys.stderr)
+                # Context-managed: flushes whatever telemetry exists even
+                # when the run below raises, so partial runs stay debuggable.
+                exporter = stack.enter_context(
+                    JsonlExporter(telemetry, args.metrics_out,
+                                  append=index > 0)
+                )
+            try:
+                result = simulate(
+                    scheme, workload, args.servers, config, telemetry=telemetry
+                )
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            if exporter is not None:
+                exporter.set_summary(result.to_dict())
+        if exporter is not None:
+            print(f"wrote {exporter.count} telemetry records to "
+                  f"{args.metrics_out}", file=sys.stderr)
         if args.metrics_prom:
             from repro.obs import prometheus_text
 
@@ -456,6 +519,7 @@ def cmd_chaos(args) -> int:
                     routing_engine=args.routing_engine,
                     store=args.store,
                     store_dir=args.store_dir,
+                    trace_sample=args.trace_sample,
                 )
             )
     except ValueError as error:
@@ -516,10 +580,14 @@ FIGURE_LABELS = {
 
 
 def cmd_bench(args) -> int:
+    if args.axis == "all":
+        return _cmd_bench_all(args)
     if args.axis == "recovery":
         return _cmd_bench_recovery(args)
     if args.axis == "simulate":
         return _cmd_bench_simulate(args)
+    if args.axis == "failover":
+        return _cmd_bench_failover(args)
     from repro.bench import bench_routing, write_report
 
     workload = _workload(args)
@@ -534,6 +602,7 @@ def cmd_bench(args) -> int:
     )
     out = args.out or "BENCH_throughput.json"
     write_report(report, out)
+    _maybe_trend("routing", report, args)
     for name, entry in report["schemes"].items():
         modes = entry["modes"]
         parity = entry.get("parity")
@@ -559,6 +628,67 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _maybe_trend(axis: str, report: dict, args) -> None:
+    if getattr(args, "trends", None):
+        from repro.bench import append_trend, trend_record
+
+        append_trend(trend_record(axis, report), args.trends)
+        print(f"appended {axis} trend record to {args.trends}",
+              file=sys.stderr)
+
+
+def _cmd_bench_failover(args) -> int:
+    from repro.bench import bench_failover, write_report
+
+    workload = _workload(args)
+    scheme_name = args.scheme[0] if args.scheme else "d2-tree"
+    report = bench_failover(
+        workload,
+        num_servers=args.servers,
+        scheme_name=scheme_name,
+        repeats=args.repeats,
+        max_ops=args.max_ops,
+        seed=args.seed,
+    )
+    out = args.out or "BENCH_failover.json"
+    write_report(report, out)
+    print(
+        f"failover   detect {report['mean_detection_seconds'] * 1e3:>8.2f} ms"
+        f"  recover {report['mean_recovery_seconds'] * 1e3:>8.2f} ms"
+        f"  downtime {report['mean_downtime_seconds'] * 1e3:>8.2f} ms"
+        f"  ({len(report['detections'])} detection(s), "
+        f"{report['operations']:,d} ops in {report['elapsed_seconds']:.2f}s)"
+    )
+    print(f"-> {out}")
+    _maybe_trend("failover", report, args)
+    if not report["detections"] or not report["recoveries"]:
+        print("failover bench FAILED: no detection/recovery spans recorded",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_all(args) -> int:
+    """Run every bench axis in sequence; one trend record per axis."""
+    if args.trends is None:
+        args.trends = "benchmarks/trends.jsonl"
+    rc = 0
+    for axis, handler in (
+        ("routing", cmd_bench),
+        ("simulate", _cmd_bench_simulate),
+        ("recovery", _cmd_bench_recovery),
+        ("failover", _cmd_bench_failover),
+    ):
+        sub_args = argparse.Namespace(**vars(args))
+        sub_args.axis = axis
+        sub_args.out = None  # each axis writes its own BENCH_<axis>.json
+        print(f"== bench --axis {axis} ==")
+        rc = max(rc, handler(sub_args))
+        print()
+    print(f"trend log -> {args.trends}")
+    return rc
+
+
 def _cmd_bench_simulate(args) -> int:
     from repro.bench import bench_simulate, write_report
 
@@ -574,6 +704,7 @@ def _cmd_bench_simulate(args) -> int:
     )
     out = args.out or "BENCH_simulate.json"
     write_report(report, out)
+    _maybe_trend("simulate", report, args)
     for engine in ("perop", "columnar"):
         entry = report["engines"][engine]
         print(
@@ -615,6 +746,7 @@ def _cmd_bench_recovery(args) -> int:
             f"  replayed={point['replayed_records']:,d}"
         )
     print(f"-> {out}")
+    _maybe_trend("recovery", report, args)
     return 0
 
 
@@ -685,10 +817,43 @@ def cmd_report(args) -> int:
         print(f"error: {args.input} holds no telemetry records", file=sys.stderr)
         return 2
     runs = split_runs(records)
-    for index, run in enumerate(runs):
-        if index:
-            print()
-        print(render_dashboard(run, width=args.width, max_timeline=args.events))
+    want_critical = args.critical_path or args.critical_json
+    analyses = None
+    if want_critical:
+        from repro.obs import analyze_critical_path, render_critical_path
+
+        analyses = [analyze_critical_path(run) for run in runs]
+        if not any(a["ops"] or a["cluster"]["detections"] for a in analyses):
+            print(f"note: {args.input} holds no span records — rerun "
+                  "simulate with --trace-sample", file=sys.stderr)
+    if args.critical_path:
+        for index, analysis in enumerate(analyses):
+            if index:
+                print()
+            print(render_critical_path(analysis, width=args.width))
+    else:
+        for index, run in enumerate(runs):
+            if index:
+                print()
+            print(render_dashboard(run, width=args.width,
+                                   max_timeline=args.events))
+    if args.critical_json:
+        payload = analyses if len(analyses) > 1 else analyses[0]
+        with open(args.critical_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote critical-path analysis to {args.critical_json}",
+              file=sys.stderr)
+    if args.perfetto:
+        from repro.obs import write_chrome_trace
+
+        source = runs[0]
+        if len(runs) > 1:
+            print("note: --perfetto exports the first run of a multi-run "
+                  "file", file=sys.stderr)
+        count = write_chrome_trace(source, args.perfetto)
+        print(f"wrote {count} trace events to {args.perfetto} "
+              "(load in ui.perfetto.dev)", file=sys.stderr)
     if args.csv:
         samples_path = f"{args.csv}.samples.csv"
         events_path = f"{args.csv}.events.csv"

@@ -68,6 +68,11 @@ class MetadataServer:
             raise RuntimeError(f"server {self.server_id} is down")
         return self.cpu.serve(arrival, work * self.service_time * self.slow_factor)
 
+    def visit_cost(self, work: float = 1.0) -> float:
+        """The CPU duration :meth:`process` books for one visit — lets the
+        span recorder recover a visit's service start from its end time."""
+        return work * self.service_time * self.slow_factor
+
     def record_access(self, path: str, now: float, weight: float = 1.0) -> None:
         """Bump the decaying access counter for ``path``."""
         counter = self._counters.get(path)

@@ -293,6 +293,11 @@ class MonitorGroup:
         self.failovers = 0
         #: Directives that failed to commit for lack of a quorum.
         self.aborted_directives = 0
+        #: Optional SpanRecorder (repro.obs.spans), wired by the simulator.
+        #: ``span_parent`` scopes the next journal_commit span under the
+        #: failover/recovery chain that triggered it.
+        self.spans = None
+        self.span_parent: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -358,6 +363,7 @@ class MonitorGroup:
         self.leader = candidate
         self.epoch += 1
         self.failovers += 1
+        lost_since = self._leader_lost_at
         self._leader_lost_at = None
         self.journal.append(
             Directive(
@@ -370,6 +376,16 @@ class MonitorGroup:
             "monitor_failover", t=now, epoch=self.epoch,
             new_leader=candidate, old_leader=old_leader,
         )
+        if self.spans is not None:
+            # The span covers the leaderless window: lease loss -> takeover.
+            self.spans.cluster(
+                "monitor_failover", lost_since, now,
+                fields=(
+                    ("epoch", self.epoch),
+                    ("new_leader", candidate),
+                    ("old_leader", old_leader),
+                ),
+            )
         return True
 
     def crash_monitor(self, replica: int, now: float = 0.0) -> None:
@@ -408,6 +424,11 @@ class MonitorGroup:
             info=tuple(sorted(info.items())),
         )
         self.journal.append(directive)
+        if self.spans is not None:
+            self.spans.cluster(
+                "journal_commit", now, now, parent=self.span_parent,
+                fields=(("directive", kind), ("epoch", self.epoch)),
+            )
         return directive
 
     # ------------------------------------------------------------------

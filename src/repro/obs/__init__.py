@@ -16,7 +16,15 @@ renders the JSONL as an ASCII dashboard. All timestamps are simulated time,
 so telemetry is bit-identical across same-seed runs.
 """
 
+from repro.obs.critical import (
+    CRITICAL_CATEGORIES,
+    analyze_critical_path,
+    render_critical_path,
+)
 from repro.obs.export import (
+    CsvExporter,
+    JsonlExporter,
+    PrometheusExporter,
     events_to_csv,
     prometheus_text,
     read_jsonl,
@@ -30,26 +38,38 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
 from repro.obs.report import render_dashboard, split_runs
 from repro.obs.sampler import GaugeSampler
+from repro.obs.spans import SpanRecord, SpanRecorder
 from repro.obs.telemetry import NULL_TELEMETRY, Sample, Telemetry, TraceEvent
 
 __all__ = [
+    "CRITICAL_CATEGORIES",
     "Counter",
+    "CsvExporter",
     "DEFAULT_BUCKETS",
     "Gauge",
     "GaugeSampler",
     "Histogram",
+    "JsonlExporter",
     "MetricsRegistry",
     "NULL_TELEMETRY",
+    "PrometheusExporter",
     "Sample",
+    "SpanRecord",
+    "SpanRecorder",
     "Telemetry",
     "TraceEvent",
+    "analyze_critical_path",
     "events_to_csv",
     "prometheus_text",
     "read_jsonl",
+    "render_critical_path",
     "render_dashboard",
     "samples_to_csv",
     "split_runs",
+    "to_chrome_trace",
+    "write_chrome_trace",
     "write_jsonl",
 ]

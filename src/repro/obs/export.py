@@ -25,6 +25,9 @@ __all__ = [
     "samples_to_csv",
     "events_to_csv",
     "prometheus_text",
+    "JsonlExporter",
+    "CsvExporter",
+    "PrometheusExporter",
 ]
 
 
@@ -122,6 +125,97 @@ def events_to_csv(
         with open(destination, "w", encoding="utf-8", newline="") as handle:
             emit(handle)
     return len(rows)
+
+
+# ----------------------------------------------------------------------
+# Context-manager exporters
+# ----------------------------------------------------------------------
+class _Exporter:
+    """Base for exporters that flush whatever telemetry exists on exit.
+
+    Flushing happens in ``__exit__`` even when the body raised, so a run
+    that dies mid-flight still leaves its partial telemetry on disk for
+    post-mortem analysis; the exception is never suppressed. ``count``
+    holds the number of records (or bytes, for Prometheus) written.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def __enter__(self) -> "_Exporter":
+        return self
+
+    def flush(self) -> int:
+        raise NotImplementedError
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.count = self.flush()
+        return False
+
+
+class JsonlExporter(_Exporter):
+    """Write one run's telemetry JSONL on scope exit (even on exception).
+
+    ``set_summary`` attaches the end-of-run summary record; a run that
+    raises before reaching it simply flushes without one.
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        destination: Union[str, Path, IO[str]],
+        append: bool = False,
+    ) -> None:
+        super().__init__()
+        self.telemetry = telemetry
+        self.destination = destination
+        self.append = append
+        self.summary: Optional[Dict[str, Any]] = None
+
+    def set_summary(self, summary: Dict[str, Any]) -> None:
+        self.summary = summary
+
+    def flush(self) -> int:
+        return write_jsonl(
+            self.telemetry, self.destination, summary=self.summary,
+            append=self.append,
+        )
+
+
+class CsvExporter(_Exporter):
+    """Write ``PREFIX.samples.csv`` + ``PREFIX.events.csv`` on scope exit."""
+
+    def __init__(self, telemetry: Telemetry, prefix: Union[str, Path]) -> None:
+        super().__init__()
+        self.telemetry = telemetry
+        self.prefix = str(prefix)
+
+    def flush(self) -> int:
+        records = list(self.telemetry.iter_records())
+        written = samples_to_csv(records, f"{self.prefix}.samples.csv")
+        written += events_to_csv(records, f"{self.prefix}.events.csv")
+        return written
+
+
+class PrometheusExporter(_Exporter):
+    """Snapshot the registry as Prometheus text on scope exit."""
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        destination: Union[str, Path],
+        prefix: str = "repro_",
+    ) -> None:
+        super().__init__()
+        self.telemetry = telemetry
+        self.destination = destination
+        self.prefix = prefix
+
+    def flush(self) -> int:
+        text = prometheus_text(self.telemetry.registry, prefix=self.prefix)
+        with open(self.destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return len(text)
 
 
 # ----------------------------------------------------------------------

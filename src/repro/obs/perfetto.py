@@ -1,0 +1,152 @@
+"""Chrome trace-event (Perfetto-loadable) export of span records.
+
+Converts ``kind == "span"`` JSONL records into the Chrome trace-event JSON
+format (``{"traceEvents": [...]}``) that `ui.perfetto.dev` and
+``chrome://tracing`` load directly. Sampled operations become one thread
+each (pid 1), cluster lifecycles land on pid 2 keyed by server; span
+intervals expand into balanced ``B``/``E`` duration events, async spans
+become instant events. Events are emitted per-tree in stack order and then
+stably sorted by timestamp, so ``ts`` is globally non-decreasing while each
+thread's ``B``/``E`` nesting stays intact — the two invariants trace
+viewers validate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Dict, Iterable, List, Union
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: pid of the per-operation span threads.
+OPS_PID = 1
+#: pid of the cluster-lifecycle span threads.
+CLUSTER_PID = 2
+
+_STRUCT_KEYS = frozenset(
+    ("kind", "span", "name", "cat", "t0", "t1", "parent", "op")
+)
+
+
+def _args(span: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in span.items() if k not in _STRUCT_KEYS}
+
+
+def _duration_pair(
+    span: Dict[str, Any], pid: int, tid: int
+) -> List[Dict[str, Any]]:
+    head = {
+        "ph": "B",
+        "pid": pid,
+        "tid": tid,
+        "ts": span["t0"] * 1e6,
+        "name": span["name"],
+        "cat": span["cat"],
+    }
+    args = _args(span)
+    if args:
+        head["args"] = args
+    return [
+        head,
+        {
+            "ph": "E",
+            "pid": pid,
+            "tid": tid,
+            "ts": span["t1"] * 1e6,
+            "name": span["name"],
+            "cat": span["cat"],
+        },
+    ]
+
+
+def _instant(span: Dict[str, Any], pid: int, tid: int) -> Dict[str, Any]:
+    event = {
+        "ph": "i",
+        "s": "t",
+        "pid": pid,
+        "tid": tid,
+        "ts": span["t0"] * 1e6,
+        "name": span["name"],
+        "cat": span["cat"],
+    }
+    args = _args(span)
+    if args:
+        event["args"] = args
+    return event
+
+
+def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Build the Chrome trace-event document for one run's records."""
+    op_order: List[int] = []
+    op_spans: Dict[int, List[Dict[str, Any]]] = {}
+    cluster_roots: List[Dict[str, Any]] = []
+    cluster_children: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        op = record.get("op")
+        if op is not None:
+            if op not in op_spans:
+                op_spans[op] = []
+                op_order.append(op)
+            op_spans[op].append(record)
+        elif record.get("parent") is None:
+            cluster_roots.append(record)
+        else:
+            cluster_children.setdefault(record["parent"], []).append(record)
+
+    metadata = [
+        {
+            "ph": "M", "pid": OPS_PID, "tid": 0, "ts": 0,
+            "name": "process_name", "args": {"name": "sampled ops"},
+        },
+        {
+            "ph": "M", "pid": CLUSTER_PID, "tid": 0, "ts": 0,
+            "name": "process_name", "args": {"name": "cluster"},
+        },
+    ]
+
+    body: List[Dict[str, Any]] = []
+    for op in op_order:
+        group = op_spans[op]
+        root = next(s for s in group if s.get("parent") is None)
+        tid = op + 1  # tid 0 is reserved for metadata
+        head, tail = _duration_pair(root, OPS_PID, tid)
+        body.append(head)
+        for span in group:
+            if span is root:
+                continue
+            if span["cat"] == "async":
+                body.append(_instant(span, OPS_PID, tid))
+            else:
+                body.extend(_duration_pair(span, OPS_PID, tid))
+        body.append(tail)
+    for root in cluster_roots:
+        server = root.get("server")
+        tid = server + 1 if isinstance(server, int) else 0
+        head, tail = _duration_pair(root, CLUSTER_PID, tid)
+        body.append(head)
+        for span in cluster_children.get(root["span"], ()):
+            body.extend(_duration_pair(span, CLUSTER_PID, tid))
+        body.append(tail)
+
+    # Stable sort: globally non-decreasing ts, while ties keep the per-tree
+    # emission order — which is exactly stack (B/E nesting) order per tid.
+    body.sort(key=lambda event: event["ts"])
+    return {"displayTimeUnit": "ms", "traceEvents": metadata + body}
+
+
+def write_chrome_trace(
+    records: Iterable[Dict[str, Any]],
+    destination: Union[str, Path, IO[str]],
+) -> int:
+    """Serialize :func:`to_chrome_trace` to a file; returns the event count."""
+    document = to_chrome_trace(records)
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    if hasattr(destination, "write"):
+        destination.write(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return len(document["traceEvents"])

@@ -31,7 +31,8 @@ from repro.obs.metrics import MetricsRegistry
 __all__ = ["TraceEvent", "Sample", "Telemetry", "NULL_TELEMETRY"]
 
 #: Telemetry output format version (the ``schema`` field of run headers).
-SCHEMA_VERSION = 1
+#: Version 2 added ``span`` records (repro.obs.spans) to the JSONL stream.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -103,10 +104,21 @@ class Telemetry:
         self.registry = MetricsRegistry(enabled=self.enabled)
         self.events: List[TraceEvent] = []
         self.samples: List[Sample] = []
+        #: Attached span recorder (repro.obs.spans), or None. Spans ride
+        #: along even when ``enabled`` is False: sampling is cheap enough
+        #: for the columnar fast path, unlike the full metrics hub.
+        self.spans = None
         #: Current simulated time, advanced by the event loop.
         self.now = 0.0
         self._seq = itertools.count()
         self._op_ids = itertools.count()
+
+    def attach_spans(self, recorder) -> None:
+        """Merge a :class:`~repro.obs.spans.SpanRecorder`'s output into this
+        run's JSONL stream. Never call on the shared ``NULL_TELEMETRY``."""
+        if self is NULL_TELEMETRY:
+            raise ValueError("cannot attach spans to the shared NULL_TELEMETRY")
+        self.spans = recorder
 
     # ------------------------------------------------------------------
     def set_time(self, now: float) -> None:
@@ -169,19 +181,24 @@ class Telemetry:
 
     # ------------------------------------------------------------------
     def iter_records(self) -> Iterator[Dict[str, Any]]:
-        """Run header followed by samples and events merged in time order.
+        """Run header followed by samples, events and spans in time order.
 
-        Ties are broken by generation order (the sequence number), so the
+        Samples and events merge on ``(t, generation order)``; spans (keyed
+        on their *close* time ``t1``) sort after events at the same instant.
+        Every key derives from sim time and process-local counters, so the
         stream is fully deterministic.
         """
         header: Dict[str, Any] = {"kind": "run", "schema": SCHEMA_VERSION}
         header.update(self.run_info)
         yield header
-        merged = sorted(
-            itertools.chain(self.samples, self.events),
-            key=lambda r: (r.t, r.seq),
-        )
-        for record in merged:
+        keyed = [
+            ((r.t, 0, r.seq), r)
+            for r in itertools.chain(self.samples, self.events)
+        ]
+        if self.spans is not None:
+            keyed.extend(((s.t1, 1, s.seq), s) for s in self.spans.spans)
+        keyed.sort(key=lambda pair: pair[0])
+        for _key, record in keyed:
             yield record.to_record()
 
     def sample_series(

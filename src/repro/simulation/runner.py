@@ -29,6 +29,7 @@ from repro.core.partition import D2TreePlacement
 from repro.metrics.balance import balance_degree
 from repro.cluster.cache import LRUCache
 from repro.obs.sampler import GaugeSampler
+from repro.obs.spans import SpanRecorder
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.simulation.faults import FaultEvent, FaultKind, FaultPlan
 from repro.simulation.network import SimNetwork, mds_addr, mon_addr
@@ -119,6 +120,15 @@ class SimulationConfig:
     store_dir: Optional[str] = None
     #: Per-server log appends between snapshots (0 disables snapshots).
     snapshot_every: int = 512
+    #: Deterministic head-sampling of causal span trees: every sampled
+    #: operation (1 in ``trace_sample``, keyed on ``(seed, op id)`` so both
+    #: simulate engines pick the same ops) records a span tree, plus
+    #: cluster-lifecycle spans for failover/recovery/adjustment. ``0``
+    #: disables tracing entirely (the default — zero-cost, byte-identical
+    #: to pre-span builds). Span recording never changes simulation
+    #: results; unlike full telemetry it does not disqualify the columnar
+    #: engine.
+    trace_sample: int = 0
     seed: int = 7
 
 
@@ -214,6 +224,25 @@ class ClusterSimulator:
         self._crashed_at: Dict[int, float] = {}
         #: server -> sim time it stopped heartbeating (drop_heartbeats).
         self._muted_at: Dict[int, float] = {}
+        #: server -> sim time the Monitor evicted it (span attribution).
+        self._detected_at: Dict[int, float] = {}
+        # Span tracing (repro.obs.spans): deterministic head-sampled span
+        # trees. The recorder rides outside the telemetry enable switch so
+        # sampled runs stay columnar-eligible; it is attached to the hub
+        # (when one was passed in) purely for JSONL export.
+        self.spans: Optional[SpanRecorder] = None
+        #: Per-server migration-CPU budget: accrued when migrations charge
+        #: background work, consumed by sampled ops' queueing delays to
+        #: attribute migration stall. Only maintained while tracing.
+        self._mig_budget: Optional[List[float]] = None
+        if self.config.trace_sample > 0:
+            self.spans = SpanRecorder(
+                self.config.trace_sample, seed=self.config.seed
+            )
+            self._mig_budget = [0.0] * num_servers
+            self.monitor.spans = self.spans
+            if self.telemetry is not NULL_TELEMETRY:
+                self.telemetry.attach_spans(self.spans)
         self._initial_capacities = list(self.placement.capacities)
         self._window_counts: Dict[str, float] = {}
         # Snapshot popularity so a run never leaks adjusted estimates into
@@ -230,7 +259,9 @@ class ClusterSimulator:
         if adjuster is not None:
             adjuster.telemetry = self.telemetry if self.telemetry.enabled else None
         self.sampler = GaugeSampler(self.telemetry)
-        if self.telemetry.enabled:
+        if self.telemetry.enabled or self.telemetry.spans is not None:
+            # A span-only run (sampling on, metrics hub disabled) still
+            # writes a JSONL stream, so it needs the run header too.
             info = self.telemetry.run_info
             info.setdefault("scheme", scheme.name)
             info.setdefault("scheme_params", scheme.params())
@@ -245,6 +276,10 @@ class ClusterSimulator:
                 # Recorded only when durability is on: default runs keep
                 # the exact pre-durability header.
                 info.setdefault("store", self.store.name)
+            if self.spans is not None:
+                # Recorded only when sampling is on, for the same reason.
+                info.setdefault("trace_sample", self.config.trace_sample)
+        if self.telemetry.enabled:
             self._register_probes()
 
     def _register_probes(self) -> None:
@@ -355,6 +390,7 @@ class ClusterSimulator:
         self.migrations += len(moves)
         self._charge_migrations(moves)
         self._journal_moves(moves, now)
+        self._record_adjust_spans(now, len(moves), mu)
         if self.telemetry.enabled:
             self.telemetry.event(
                 "adjust_round", t=now, migrations=len(moves), mu=mu,
@@ -362,6 +398,26 @@ class ClusterSimulator:
             self.telemetry.registry.counter(
                 "migrations", help="Subtree/key migrations performed",
             ).inc(len(moves))
+
+    def _record_adjust_spans(self, now: float, moves: int, mu: float) -> None:
+        """Adjustment-round lifecycle spans (aggregate -> plan -> migrate).
+
+        Shared by both engines' adjustment paths so a sampled columnar run
+        emits the exact spans the per-op run does.
+        """
+        rec = self.spans
+        if rec is None:
+            return
+        parent = rec.cluster(
+            "adjust_round", now, now,
+            fields=(("migrations", moves), ("mu", mu)),
+        )
+        rec.cluster("aggregate", now, now, parent=parent)
+        rec.cluster("plan", now, now, parent=parent)
+        rec.cluster(
+            "migrate", now, now, parent=parent,
+            fields=(("migrations", moves),),
+        )
 
     def _charge_migrations(self, moves) -> None:
         """Book migration CPU on both ends of every move.
@@ -374,12 +430,17 @@ class ClusterSimulator:
         work = self.config.migration_work
         if work <= 0:
             return
+        budget = self._mig_budget
         for move in moves:
             cost = work * self._migration_size(move) * self.config.service_time
             if self.servers[move.source].alive:
                 self.servers[move.source].cpu.serve_background(cost)
+                if budget is not None:
+                    budget[move.source] += cost
             if self.servers[move.target].alive:
                 self.servers[move.target].cpu.serve_background(cost)
+                if budget is not None:
+                    budget[move.target] += cost
 
     def _journal_moves(self, moves, now: float) -> None:
         """Persist subtree ownership changes to the per-MDS logs.
@@ -569,18 +630,43 @@ class ClusterSimulator:
             since = self._crashed_at.get(dead, now)
             self.availability.unavailability += now - since
         self.availability.detection_latency[dead] = now - since
+        self._detected_at[dead] = now
         moves = fail_server(self.placement, dead)
         # Re-homing rewrites ownership wholesale; flush the owner index
         # rather than trusting version counters to cover every write.
         self.engine.invalidate()
         self.migrations += len(moves)
         self._charge_migrations(moves)
+        # Failover lifecycle chain: the heartbeat_miss span covers the whole
+        # degraded window (silence -> eviction); detect/evict/journal_commit
+        # /fence hang off it at the instant detection fired.
+        rec = self.spans
+        chain = None
+        if rec is not None:
+            chain = rec.cluster(
+                "heartbeat_miss", since, now, fields=(("server", dead),),
+            )
+            rec.cluster(
+                "detect", now, now, parent=chain,
+                fields=(
+                    ("false_positive", server.alive),
+                    ("server", dead),
+                    ("timeout", self.config.heartbeat_timeout),
+                ),
+            )
+            rec.cluster(
+                "evict", now, now, parent=chain,
+                fields=(("moves", len(moves)), ("server", dead)),
+            )
+            self.monitor.span_parent = chain
         # The eviction is an epoch-stamped directive: every receiving MDS
         # ratchets its fence forward, so a later directive from a deposed
         # leader (an older epoch) can no longer move these subtrees.
         directive = self.monitor.issue(
             "rehome", now, server=dead, moves=len(moves)
         )
+        if rec is not None:
+            self.monitor.span_parent = None
         if directive is not None:
             accepted = set()
             for move in moves:
@@ -589,6 +675,14 @@ class ClusterSimulator:
             if self.store_on:
                 for target in sorted(accepted):
                     self.store.append_fence(target, directive.epoch, now)
+            if rec is not None:
+                rec.cluster(
+                    "fence", now, now, parent=chain,
+                    fields=(
+                        ("epoch", directive.epoch),
+                        ("servers", len(accepted)),
+                    ),
+                )
         self._journal_moves(moves, now)
         self.telemetry.event(
             "failure_detected", t=now, server=dead,
@@ -642,12 +736,27 @@ class ClusterSimulator:
             server.muted = False
         self.network.clear_endpoint(mds_addr(sid))
         self._muted_at.pop(sid, None)
+        # Recovery lifecycle chain: the root span covers eviction -> rejoin
+        # (or crash -> rejoin when detection never fired); journal_commit
+        # and the rejoin land under it. An aborted rejoin leaves a childless
+        # recovery span — the next attempt opens a fresh one.
+        rec = self.spans
+        chain = None
+        if rec is not None:
+            t0 = self._detected_at.get(sid, self._crashed_at.get(sid, now))
+            chain = rec.cluster(
+                "recovery", t0, now,
+                fields=(("server", sid), ("was_crashed", was_crashed)),
+            )
+            self.monitor.span_parent = chain
         # Rejoining is a placement change, so it needs a committed,
         # epoch-stamped directive. Without a quorum (leader on the wrong
         # side of a partition) the server is locally up but stays evicted;
         # the next heartbeat that reaches a committable leader retries the
         # rejoin through the auto-rejoin path in _heartbeat_round.
         directive = self.monitor.issue("rejoin", now, server=sid)
+        if rec is not None:
+            self.monitor.span_parent = None
         if directive is None:
             self.monitor.state.mark_dead(sid)
             return
@@ -671,6 +780,12 @@ class ClusterSimulator:
         self.migrations += len(moves)
         self._charge_migrations(moves)
         self._journal_moves(moves, now)
+        self._detected_at.pop(sid, None)
+        if rec is not None:
+            rec.cluster(
+                "rejoin", now, now, parent=chain,
+                fields=(("moves", len(moves)), ("server", sid)),
+            )
         self.availability.rejoins += 1
         time_to_recover = None
         if was_crashed and sid in self._crashed_at:
@@ -781,6 +896,11 @@ class ClusterSimulator:
         store_on = self.store_on
         store = self.store
         ledger = self.durability
+        # Span-tracing fast path: same shape again. Untraced runs pay one
+        # predicate per site; traced runs only do real work on sampled ops.
+        rec = self.spans
+        rec_on = rec is not None
+        mig_budget = self._mig_budget
         if tel_on:
             m_completed = tel.registry.counter(
                 "ops_completed", help="Operations completed")
@@ -860,6 +980,10 @@ class ClusterSimulator:
             fresh = self.plan_route(op["client"], op["node"], op["op"])
             op["plan"] = fresh
             op["visit"] = 0
+            if rec_on:
+                tr = op.get("tr")
+                if tr is not None:
+                    rec.retry(tr, now + cfg.failover_latency + backoff)
             heapq.heappush(
                 events,
                 (now + cfg.failover_latency + backoff, next(seq), op),
@@ -916,6 +1040,7 @@ class ClusterSimulator:
                 )
             else:
                 arrival = first_arrival
+            pre_lock = arrival
             if arrival is not None and plan.lock_key:
                 arrival = self.locks.acquire(
                     plan.lock_key, arrival, cfg.lock_hold_time
@@ -938,6 +1063,12 @@ class ClusterSimulator:
                 tel.event(
                     "op_start", op["id"], t=start, path=record.path,
                     type=record.op.value, client=client.client_id,
+                )
+            if rec_on and rec.sampled(self.ops_issued - 1):
+                op["tr"] = rec.begin_op(
+                    self.ops_issued - 1, record.path, client.client_id,
+                    start, pre_lock,
+                    arrival if plan.lock_key else None,
                 )
             if arrival is None:
                 # The send was lost (loss fault): the client times out and
@@ -998,7 +1129,18 @@ class ClusterSimulator:
                 # re-homes its metadata (the degraded window).
                 retry_op(op, now, visit.server)
                 continue
+            # Span tracing captures the service start with the exact float
+            # expression ResourceTimeline.serve uses (not end - duration,
+            # which can differ in the last ulp and break engine parity).
+            busy = server.cpu.busy_until
             end = server.process(now)
+            if rec_on:
+                tr = op.get("tr")
+                if tr is not None:
+                    rec.visit(
+                        tr, visit.server, now,
+                        now if now > busy else busy, end, mig_budget,
+                    )
             if visit.kind is VisitKind.SERVE:
                 server.record_access(op["path"], end)
             op["visit"] += 1
@@ -1037,6 +1179,10 @@ class ClusterSimulator:
                 redirects += 1
             jumps_total += plan.num_jumps
             latencies.append(completion - op["start"])
+            if rec_on:
+                tr = op.get("tr")
+                if tr is not None:
+                    rec.finish(tr, completion, len(plan.fanout))
             if tel_on:
                 latency = completion - op["start"]
                 m_completed.inc()
@@ -1160,6 +1306,17 @@ class ClusterSimulator:
         adjust_every = cfg.adjust_every_ops
         decode = OP_FROM_CODE
         REDIRECT = VisitKind.REDIRECT
+        # Span tracing (bound methods hoisted): unsampled runs pay one local
+        # bool per site, sampled ops call the same SpanRecorder methods the
+        # per-op engine does — shared construction is the parity guarantee.
+        rec = self.spans
+        rec_on = rec is not None
+        mig_budget = self._mig_budget
+        if rec_on:
+            rec_sampled = rec.sampled
+            rec_begin = rec.begin_op
+            rec_visit = rec.visit
+            rec_finish = rec.finish
 
         arena = tree.arena()  # static structure mid-replay
         window = arena.zero_loads()
@@ -1198,6 +1355,8 @@ class ClusterSimulator:
         slot_visit = [0] * num_slots
         slot_start = [0.0] * num_slots
         slot_nid = [0] * num_slots
+        #: Per-slot span trace state (None for unsampled ops).
+        slot_tr: List[Optional[Dict]] = [None] * num_slots
         #: server -> interned single-SERVE plan for CREATE placements (the
         #: per-op loop builds a fresh identical plan each time; plans are
         #: immutable, so sharing cannot change behaviour).
@@ -1241,13 +1400,19 @@ class ClusterSimulator:
                 if plan is None:
                     plan = RoutePlan(visits=[Visit(server, VisitKind.SERVE)])
                     create_plans[server] = plan
-            arrival = hop
+            pre_lock = arrival = hop
             if plan.lock_key:
                 arrival = locks_acquire(plan.lock_key, arrival, lock_hold)
             slot_plan[slot] = plan
             slot_visit[slot] = 0
             slot_start[slot] = 0.0
             slot_nid[slot] = b_nids[i]
+            if rec_on:
+                slot_tr[slot] = rec_begin(
+                    dispatched - 1, node.path, clients[slot].client_id,
+                    0.0, pre_lock,
+                    arrival if plan.lock_key else None,
+                ) if rec_sampled(dispatched - 1) else None
             heappush(events, (arrival, next_seq(), slot))
 
         while events:
@@ -1263,6 +1428,10 @@ class ClusterSimulator:
             busy_until[sid] = end
             busy_time[sid] += service
             served[sid] += 1
+            if rec_on:
+                tr = slot_tr[slot]
+                if tr is not None:
+                    rec_visit(tr, sid, now, begin, end, mig_budget)
             vidx += 1
             nvis = len(visits)
             if vidx < nvis:
@@ -1286,6 +1455,10 @@ class ClusterSimulator:
                         redirects += 1
                         break
             lat_append(completion - slot_start[slot])
+            if rec_on:
+                tr = slot_tr[slot]
+                if tr is not None:
+                    rec_finish(tr, completion, len(plan.fanout))
             if completion > makespan:
                 makespan = completion
             window[slot_nid[slot]] += 1.0
@@ -1321,13 +1494,19 @@ class ClusterSimulator:
                 if plan is None:
                     plan = RoutePlan(visits=[Visit(server, VisitKind.SERVE)])
                     create_plans[server] = plan
-            arrival = completion + hop
+            pre_lock = arrival = completion + hop
             if plan.lock_key:
                 arrival = locks_acquire(plan.lock_key, arrival, lock_hold)
             slot_plan[slot] = plan
             slot_visit[slot] = 0
             slot_start[slot] = completion
             slot_nid[slot] = b_nids[i]
+            if rec_on:
+                slot_tr[slot] = rec_begin(
+                    dispatched - 1, node.path, clients[slot].client_id,
+                    completion, pre_lock,
+                    arrival if plan.lock_key else None,
+                ) if rec_sampled(dispatched - 1) else None
             heapreplace(events, (arrival, next_seq(), slot))
 
         self.created += created
@@ -1392,6 +1571,7 @@ class ClusterSimulator:
         moves = self.monitor.rebalance(now)
         self.migrations += len(moves)
         self._charge_migrations(moves)
+        self._record_adjust_spans(now, len(moves), mu)
 
     def close(self) -> None:
         """Release the durable store's files (idempotent)."""

@@ -14,13 +14,41 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["AsciiChart", "render_series", "sparkline"]
+__all__ = ["AsciiChart", "render_series", "sparkline", "stacked_bar"]
 
 #: Distinct glyphs per series, cycled.
 GLYPHS = "ox+*#@%&"
 
 #: Eight-level block glyphs for sparklines (telemetry dashboards).
 SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+#: Shade glyphs for stacked-bar segments, cycled (flame-style breakdowns).
+STACK_GLYPHS = "█▓▒░·"
+
+
+def stacked_bar(parts: Sequence[float], width: int = 48) -> str:
+    """Render non-negative parts as one fixed-width stacked ASCII bar.
+
+    Each part gets a run of its (cycled) shade glyph proportional to its
+    share of the total; cells are apportioned by largest remainder so the
+    bar is always exactly ``width`` wide and every nonzero part keeps its
+    rounding fair. Returns ``""`` for an empty/zero total.
+    """
+    values = [max(0.0, float(v)) for v in parts]
+    total = sum(values)
+    if total <= 0 or width <= 0 or not values:
+        return ""
+    exact = [v / total * width for v in values]
+    cells = [int(e) for e in exact]
+    leftovers = sorted(
+        range(len(values)),
+        key=lambda i: (-(exact[i] - cells[i]), i),
+    )
+    for i in leftovers[: width - sum(cells)]:
+        cells[i] += 1
+    return "".join(
+        STACK_GLYPHS[i % len(STACK_GLYPHS)] * n for i, n in enumerate(cells)
+    )
 
 
 def sparkline(

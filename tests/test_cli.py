@@ -271,3 +271,83 @@ def test_simulate_rejects_invalid_fault_target(capsys):
     err = capsys.readouterr().err
     assert code == 2
     assert "crash:9@ops=50" in err
+
+
+def test_simulate_trace_sample_and_critical_path_report(tmp_path, capsys):
+    import json
+
+    metrics = tmp_path / "spans.jsonl"
+    argv = (
+        "simulate", "--trace", "dtr", "--nodes", "600", "--scale", "1e-5",
+        "--servers", "4", "--scheme", "d2-tree", "--seed", "5",
+        "--trace-sample", "10", "--metrics-out", str(metrics),
+    )
+    code, _out = run(capsys, *argv)
+    assert code == 0
+    records = [json.loads(line) for line in metrics.read_text().splitlines()]
+    assert records[0]["kind"] == "run"
+    assert records[0]["trace_sample"] == 10
+    assert any(r["kind"] == "span" for r in records)
+
+    perfetto = tmp_path / "trace.json"
+    critical = tmp_path / "critical.json"
+    code, out = run(
+        capsys, "report", str(metrics), "--critical-path",
+        "--critical-json", str(critical), "--perfetto", str(perfetto),
+    )
+    assert code == 0
+    assert "latency components" in out
+    analysis = json.loads(critical.read_text())
+    assert analysis["ops"] > 0
+    assert sum(analysis["components_seconds"].values()) == pytest.approx(
+        analysis["total_end_to_end_seconds"]
+    )
+    trace = json.loads(perfetto.read_text())
+    phases = [e["ph"] for e in trace["traceEvents"]]
+    assert phases.count("B") == phases.count("E") > 0
+
+    # Identical invocation -> byte-identical span stream and report.
+    rerun_metrics = tmp_path / "spans2.jsonl"
+    argv2 = argv[:-1] + (str(rerun_metrics),)
+    code, _out = run(capsys, *argv2)
+    assert code == 0
+    assert rerun_metrics.read_text() == metrics.read_text()
+    code, out2 = run(capsys, "report", str(rerun_metrics), "--critical-path")
+    assert code == 0
+    assert out2 == out
+
+
+def test_simulate_trace_sample_keeps_columnar_output_identical(
+    tmp_path, capsys
+):
+    base = (
+        "simulate", "--trace", "dtr", "--nodes", "600", "--scale", "1e-5",
+        "--servers", "4", "--scheme", "d2-tree", "--seed", "5", "--json",
+    )
+    code, plain = run(capsys, *base)
+    assert code == 0
+    code, sampled = run(
+        capsys, *base, "--trace-sample", "25",
+        "--metrics-out", str(tmp_path / "tel.jsonl"),
+    )
+    assert code == 0
+    assert sampled == plain
+
+
+def test_bench_failover_axis_cli(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "BENCH_failover.json"
+    trends = tmp_path / "trends.jsonl"
+    code, out = run(
+        capsys, "bench", "--axis", "failover", "--trace", "dtr",
+        "--nodes", "600", "--scale", "1e-5", "--servers", "4",
+        "--seed", "5", "--repeats", "1", "--max-ops", "1000",
+        "--out", str(out_file), "--trends", str(trends),
+    )
+    assert code == 0
+    assert "failover" in out and "detect" in out
+    report = json.loads(out_file.read_text())
+    assert report["detections"]
+    trend = json.loads(trends.read_text().splitlines()[0])
+    assert trend["axis"] == "failover"

@@ -1,0 +1,164 @@
+"""Critical-path analysis, Perfetto export, and the failover bench axis."""
+
+import dataclasses
+import io
+import json
+import math
+from collections import defaultdict
+
+import pytest
+
+from repro import registry
+from repro.obs import (
+    CRITICAL_CATEGORIES,
+    Telemetry,
+    analyze_critical_path,
+    render_critical_path,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.simulation import SimulationConfig
+from repro.simulation.runner import ClusterSimulator
+from repro.traces import DatasetProfile, TraceGenerator
+
+SAMPLE = 40
+
+
+@pytest.fixture(scope="module")
+def traced_records():
+    profile = dataclasses.replace(
+        DatasetProfile.dtr(num_nodes=900, scale=3e-4),
+        seed=21,
+        create_fraction=0.08,
+    )
+    workload = TraceGenerator(profile, num_clients=16).generate()
+
+    def run():
+        telemetry = Telemetry(enabled=False)
+        sim = ClusterSimulator(
+            registry.create("d2-tree"), workload, 6,
+            SimulationConfig(trace_sample=SAMPLE), telemetry=telemetry,
+        )
+        try:
+            result = sim.run()
+        finally:
+            sim.close()
+        buffer = io.StringIO()
+        write_jsonl(telemetry, buffer, summary=result.to_dict())
+        return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+    return run(), run()
+
+
+def test_analysis_components_sum_to_end_to_end(traced_records):
+    records, _ = traced_records
+    analysis = analyze_critical_path(records)
+    assert analysis["ops"] > 0
+    assert math.isclose(
+        sum(analysis["components_seconds"].values()),
+        analysis["total_end_to_end_seconds"],
+        rel_tol=1e-9,
+    )
+    assert tuple(analysis["components_seconds"]) == CRITICAL_CATEGORIES
+    assert sum(
+        info["ops"] for info in analysis["per_subtree"].values()
+    ) == analysis["ops"]
+    assert len(analysis["slowest_ops"]) <= 5
+    slowest = [row["latency_seconds"] for row in analysis["slowest_ops"]]
+    assert slowest == sorted(slowest, reverse=True)
+
+
+def test_analysis_and_render_are_byte_deterministic(traced_records):
+    first, second = traced_records
+    a1, a2 = analyze_critical_path(first), analyze_critical_path(second)
+    assert json.dumps(a1, sort_keys=True) == json.dumps(a2, sort_keys=True)
+    assert render_critical_path(a1) == render_critical_path(a2)
+    rendered = render_critical_path(a1)
+    assert "latency components" in rendered
+    assert "queueing" in rendered
+
+
+def test_chrome_trace_is_valid_and_balanced(traced_records):
+    records, _ = traced_records
+    document = to_chrome_trace(records)
+    events = document["traceEvents"]
+    assert events, "no trace events emitted"
+    timestamps = [e["ts"] for e in events if e["ph"] != "M"]
+    assert timestamps == sorted(timestamps)
+    stacks = defaultdict(list)
+    for event in events:
+        key = (event["pid"], event["tid"])
+        if event["ph"] == "B":
+            stacks[key].append(event["name"])
+        elif event["ph"] == "E":
+            assert stacks[key] and stacks[key][-1] == event["name"], (
+                f"unmatched E for {event['name']} on {key}"
+            )
+            stacks[key].pop()
+    assert all(not stack for stack in stacks.values()), "unclosed B events"
+    # Replica fan-out is off the critical path: async spans become instants.
+    assert all(e["ph"] in ("B", "E", "i", "M") for e in events)
+
+    buffer = io.StringIO()
+    count = write_chrome_trace(records, buffer)
+    assert count == len(events)
+    parsed = json.loads(buffer.getvalue())
+    assert len(parsed["traceEvents"]) == count
+
+
+def test_analysis_of_spanless_records_is_empty():
+    analysis = analyze_critical_path(
+        [{"kind": "run", "schema": 2}, {"kind": "event", "t": 0.0, "event": "x"}]
+    )
+    assert analysis["ops"] == 0
+    assert analysis["total_end_to_end_seconds"] == 0.0
+    assert render_critical_path(analysis)  # renders without crashing
+
+
+def test_bench_failover_reads_spans():
+    from repro.bench import bench_failover, trend_record
+
+    profile = dataclasses.replace(
+        DatasetProfile.dtr(num_nodes=600, scale=1e-5), seed=5
+    )
+    workload = TraceGenerator(profile, num_clients=8).generate()
+    report = bench_failover(
+        workload, num_servers=4, repeats=1, max_ops=1000, seed=5
+    )
+    assert report["benchmark"] == "failover_latency"
+    assert report["detections"] and report["recoveries"]
+    assert report["mean_detection_seconds"] > 0.0
+    assert report["mean_downtime_seconds"] >= report["mean_recovery_seconds"]
+    record = trend_record("failover", report)
+    assert record["axis"] == "failover"
+    assert record["mean_detection_seconds"] == report["mean_detection_seconds"]
+
+
+def test_trend_records_cover_every_axis(tmp_path):
+    from repro.bench import append_trend, trend_record
+
+    routing = {"trace": "T", "speedup_geomean": 2.0}
+    simulate = {
+        "trace": "T", "speedup": 1.5,
+        "engines": {"columnar": {"normalized_ops_per_sec": 0.02}},
+    }
+    recovery = {
+        "points": [
+            {"backend": "wal", "records_per_sec": 10.0},
+            {"backend": "wal", "records_per_sec": 30.0},
+            {"backend": "sqlite", "records_per_sec": 20.0},
+        ],
+    }
+    path = tmp_path / "trends.jsonl"
+    append_trend(trend_record("routing", routing), str(path))
+    append_trend(trend_record("simulate", simulate), str(path))
+    append_trend(trend_record("recovery", recovery), str(path))
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [line["axis"] for line in lines] == [
+        "routing", "simulate", "recovery",
+    ]
+    assert lines[0]["speedup_geomean"] == 2.0
+    assert lines[2]["records_per_sec"] == {"wal": 30.0, "sqlite": 20.0}
+    with pytest.raises(ValueError):
+        trend_record("nope", {})

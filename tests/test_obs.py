@@ -130,7 +130,7 @@ def test_iter_records_header_and_merge_order():
     telemetry.record_sample(0.2, "g", 1.0)
     telemetry.event("a", t=0.2)  # same t as the sample, later seq
     records = list(telemetry.iter_records())
-    assert records[0] == {"kind": "run", "schema": 1,
+    assert records[0] == {"kind": "run", "schema": 2,
                           "scheme": "d2-tree", "seed": 7}
     assert [(r["kind"], r["t"]) for r in records[1:]] == [
         ("sample", 0.2), ("event", 0.2), ("event", 0.5),
@@ -366,3 +366,56 @@ def test_disabled_telemetry_matches_untraced_run():
     assert plain.throughput == traced.throughput
     assert plain.latency == traced.latency
     assert plain.server_visits == traced.server_visits
+
+
+# ----------------------------------------------------------------------
+# Context-manager exporters
+# ----------------------------------------------------------------------
+def test_jsonl_exporter_flushes_on_exception(tmp_path):
+    from repro.obs import JsonlExporter
+
+    telemetry = Telemetry()
+    telemetry.event("fault_crash", t=0.5, server=1)
+    path = tmp_path / "partial.jsonl"
+    with pytest.raises(RuntimeError):
+        with JsonlExporter(telemetry, str(path)) as exporter:
+            raise RuntimeError("mid-run crash")
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records[0]["kind"] == "run"
+    assert any(r.get("event") == "fault_crash" for r in records)
+    # The summary was never reached, so no summary record was written.
+    assert all(r["kind"] != "summary" for r in records)
+    assert exporter.count == len(records)
+
+
+def test_jsonl_exporter_writes_summary_and_appends(tmp_path):
+    from repro.obs import JsonlExporter
+
+    path = tmp_path / "runs.jsonl"
+    for run_index in range(2):
+        telemetry = Telemetry()
+        with JsonlExporter(
+            telemetry, str(path), append=run_index > 0
+        ) as exporter:
+            exporter.set_summary({"throughput": float(run_index)})
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["kind"] for r in records].count("run") == 2
+    assert [r["kind"] for r in records].count("summary") == 2
+
+
+def test_csv_and_prometheus_exporters_flush_on_exception(tmp_path):
+    from repro.obs import CsvExporter, PrometheusExporter
+
+    telemetry = Telemetry()
+    telemetry.record_sample(0.1, "load", 1.0, server=0)
+    telemetry.event("fault_crash", t=0.2, server=1)
+    telemetry.registry.counter("ops", help="ops").inc(3)
+    prefix = tmp_path / "run"
+    prom = tmp_path / "metrics.prom"
+    with pytest.raises(RuntimeError):
+        with CsvExporter(telemetry, str(prefix)), \
+                PrometheusExporter(telemetry, str(prom)):
+            raise RuntimeError("mid-run crash")
+    assert "load" in (tmp_path / "run.samples.csv").read_text()
+    assert "fault_crash" in (tmp_path / "run.events.csv").read_text()
+    assert "repro_ops_total 3" in prom.read_text()
