@@ -1,6 +1,6 @@
 """Wall-clock benchmarks (the ``repro bench`` verb).
 
-Four axes:
+Five axes:
 
 * ``--axis routing`` (:func:`bench_routing`, the default) measures route
   planning throughput; ``--axis recovery`` (:func:`bench_recovery`)
@@ -11,8 +11,12 @@ Four axes:
   results; ``--axis failover`` (:func:`bench_failover`) replays a seeded
   crash → recover schedule with sampled tracing on and reads detection /
   recovery / downtime latency off the cluster-lifecycle spans
-  (``BENCH_failover.json``). ``--axis all`` runs every axis and appends
-  one :func:`trend_record` per axis to ``benchmarks/trends.jsonl``.
+  (``BENCH_failover.json``); ``--axis serve`` (:func:`bench_serve`) boots
+  a real asyncio cluster on unix sockets, drives open-loop client load
+  through it and reports measured throughput/latency plus the
+  live-vs-simulated delta (``BENCH_serve.json``). ``--axis all`` runs
+  every axis and appends one :func:`trend_record` per axis to
+  ``benchmarks/trends.jsonl``.
 
 The routing axis measures the cost of *route planning* — the per-operation
 work the fast-path engine (:mod:`repro.simulation.routing`) optimises — by
@@ -56,6 +60,7 @@ __all__ = [
     "bench_failover",
     "bench_recovery",
     "bench_routing",
+    "bench_serve",
     "bench_simulate",
     "machine_score",
     "trend_record",
@@ -686,6 +691,92 @@ def bench_failover(
     return report
 
 
+def bench_serve(
+    workload: GeneratedWorkload,
+    num_servers: int = 3,
+    num_monitors: int = 3,
+    scheme_name: str = "d2-tree",
+    rate: float = 3000.0,
+    repeats: int = 3,
+    max_ops: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Measure live asyncio-cluster throughput and the live/sim delta.
+
+    Boots a real cluster (unix sockets) ``repeats`` times and keeps the
+    best-throughput run — live numbers carry scheduler noise the simulated
+    axes do not, so best-of mirrors how the other wall-clock axes time.
+    One simulated replay of the same workload (static placement, matched
+    monitor count and seed) anchors the ``live_sim_throughput_ratio``:
+    how much faster/slower the real cluster ran than the discrete-event
+    model predicted on this machine.
+
+    Every run is gated on the safety invariants — a benchmark number from
+    a cluster that violated single-ownership or lost an acked op would be
+    meaningless, so violations fail the axis outright.
+    """
+    from repro.transport.live import LiveConfig
+    from repro.transport.loadgen import LoadConfig
+    from repro.transport.serve import serve_workload
+
+    if max_ops is None:
+        max_ops = 4000  # keep the live wall-clock bounded (~max_ops/rate s)
+    trace = workload.trace
+    if not isinstance(trace, Trace):
+        trace = trace.materialize()
+    workload = dataclasses.replace(workload, trace=trace.slice(0, max_ops))
+
+    run_seed = seed if seed is not None else 7
+    live_cfg = LiveConfig(
+        num_servers=num_servers, num_monitors=num_monitors, seed=run_seed
+    )
+    load_cfg = LoadConfig(rate=rate, seed=run_seed)
+
+    best = None
+    violations: List[str] = []
+    for _ in range(max(1, repeats)):
+        run = serve_workload(
+            registry.create(scheme_name), workload, live_cfg, load_cfg
+        )
+        violations.extend(run.violations)
+        if best is None or run.throughput > best.throughput:
+            best = run
+
+    sim = simulate(
+        registry.create(scheme_name),
+        workload,
+        num_servers,
+        SimulationConfig(
+            adjust_every_ops=0, num_monitors=num_monitors, seed=run_seed
+        ),
+    )
+    return {
+        "benchmark": "serve_throughput",
+        "trace": workload.trace.name,
+        "scheme": scheme_name,
+        "num_servers": num_servers,
+        "num_monitors": num_monitors,
+        "transport": live_cfg.transport,
+        "offered_rate": rate,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "operations": best.operations,
+        "acked": best.acked,
+        "failed": best.failed,
+        "retries": best.retries,
+        "redirects": best.redirects,
+        "throughput": best.throughput,
+        "latency": dict(best.latency),
+        "duration_seconds": best.duration,
+        "simulated_throughput": sim.throughput,
+        "live_sim_throughput_ratio": (
+            best.throughput / sim.throughput if sim.throughput else None
+        ),
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
 # ----------------------------------------------------------------------
 # Trend log: one compact record per measured axis, appended over time
 # ----------------------------------------------------------------------
@@ -724,6 +815,12 @@ def trend_record(axis: str, report: Dict[str, object]) -> Dict[str, object]:
         record["mean_detection_seconds"] = report["mean_detection_seconds"]
         record["mean_recovery_seconds"] = report["mean_recovery_seconds"]
         record["mean_downtime_seconds"] = report["mean_downtime_seconds"]
+    elif axis == "serve":
+        record["throughput"] = report["throughput"]
+        record["latency_p99_seconds"] = report["latency"]["p99"]
+        record["live_sim_throughput_ratio"] = (
+            report["live_sim_throughput_ratio"]
+        )
     else:
         raise ValueError(f"unknown bench axis: {axis}")
     return record

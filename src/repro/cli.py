@@ -5,6 +5,8 @@ Commands
 generate   synthesise a trace (Table I profile) and write it to a file
 evaluate   partition a generated workload and print the paper metrics
 simulate   replay a workload through the cluster simulator (Fig. 5 style)
+serve      run a real asyncio cluster (sockets, tasks) under client load
+validate   replay one seeded workload through both transports and diff
 figure     regenerate one figure's data series (CSV, or --chart for ASCII)
 stats      characterise a trace (mix, depth, skew, drift)
 report     render a telemetry JSONL file as an ASCII dashboard
@@ -22,8 +24,7 @@ import contextlib
 import dataclasses
 import json
 import sys
-import warnings
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import registry
 from repro.metrics import evaluate_scheme
@@ -32,7 +33,7 @@ from repro.simulation import replay_rounds, simulate
 from repro.storage import STORE_BACKENDS
 from repro.traces import DatasetProfile, TraceGenerator, load_workload, save_trace
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_fault_args", "parse_fault_plan"]
 
 PROFILE_MAKERS: Dict[str, Callable[..., DatasetProfile]] = {
     "dtr": DatasetProfile.dtr,
@@ -41,36 +42,38 @@ PROFILE_MAKERS: Dict[str, Callable[..., DatasetProfile]] = {
 }
 
 
-class _DeprecatedSchemeMakers(Mapping):
-    """Read-only view of the scheme registry kept for backward compatibility.
+def add_fault_args(p: argparse.ArgumentParser) -> None:
+    """Install the shared ``--fault`` flag.
 
-    ``repro.cli.SCHEME_MAKERS`` predates :mod:`repro.registry`; importing it
-    still works but every access warns. New code should call
-    ``registry.get(name)`` / ``registry.available()`` directly.
+    Every verb that injects faults (``simulate``, ``serve``, ``validate``)
+    gets the identical grammar from this one place, so the flag surface
+    cannot drift between the simulated and live transports.
     """
-
-    @staticmethod
-    def _warn() -> None:
-        warnings.warn(
-            "repro.cli.SCHEME_MAKERS is deprecated; use repro.registry "
-            "(register/get/available) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def __getitem__(self, name: str) -> Callable[[], MetadataScheme]:
-        self._warn()
-        return registry.get(name)
-
-    def __iter__(self) -> Iterator[str]:
-        self._warn()
-        return iter(registry.available())
-
-    def __len__(self) -> int:
-        return len(registry.available())
+    p.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                   help="inject a fault: kind:target@ops=N or "
+                        "kind:target@t=SEC, kind one of crash, recover, "
+                        "fail_slow (:xF slowdown factor), "
+                        "drop_heartbeats, loss (:pP drop probability), "
+                        "delay (:dS mean extra seconds), "
+                        "partition / heal (target is the group spec, "
+                        "e.g. 'partition:{0,1}|{2,3,m0}@t=2.0'; 'heal:*' "
+                        "removes every partition), monitor_crash / "
+                        "monitor_recover (target is a Monitor replica); "
+                        "repeatable (e.g. --fault crash:2@ops=1000); "
+                        "see docs/CHAOS.md for the full grammar")
 
 
-SCHEME_MAKERS: Mapping[str, Callable[[], MetadataScheme]] = _DeprecatedSchemeMakers()
+def parse_fault_plan(args):
+    """Parse the ``--fault`` specs into a FaultPlan (None when absent).
+
+    Raises ``ValueError`` with the offending spec, exactly as
+    ``FaultPlan.parse`` reports it — callers turn that into exit code 2.
+    """
+    from repro.simulation import FaultPlan
+
+    if not getattr(args, "fault", None):
+        return None
+    return FaultPlan.parse(args.fault)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -131,18 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--max-ops", type=int, default=None,
                      help="truncate the trace to this many operations "
                           "(what `repro chaos --ops` replays)")
-    sim.add_argument("--fault", action="append", default=[], metavar="SPEC",
-                     help="inject a fault: kind:target@ops=N or "
-                          "kind:target@t=SEC, kind one of crash, recover, "
-                          "fail_slow (:xF slowdown factor), "
-                          "drop_heartbeats, loss (:pP drop probability), "
-                          "delay (:dS mean extra seconds), "
-                          "partition / heal (target is the group spec, "
-                          "e.g. 'partition:{0,1}|{2,3,m0}@t=2.0'; 'heal:*' "
-                          "removes every partition), monitor_crash / "
-                          "monitor_recover (target is a Monitor replica); "
-                          "repeatable (e.g. --fault crash:2@ops=1000); "
-                          "see docs/CHAOS.md for the full grammar")
+    add_fault_args(sim)
     sim.add_argument("--monitors", type=int, default=None,
                      help="Monitor group size: 1 leader + N-1 standbys with "
                           "lease failover and epoch fencing (default 1, the "
@@ -196,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_args(bench)
     bench.add_argument("--axis",
                        choices=["routing", "recovery", "simulate",
-                                "failover", "all"],
+                                "failover", "serve", "all"],
                        default="routing",
                        help="what to measure: routing engine throughput "
                             "(default, BENCH_throughput.json), durable-"
@@ -205,7 +197,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "throughput per-op vs columnar "
                             "(BENCH_simulate.json), span-derived failover "
                             "detection/recovery latency under a seeded "
-                            "crash schedule (BENCH_failover.json), or "
+                            "crash schedule (BENCH_failover.json), live "
+                            "asyncio-cluster throughput vs the simulator's "
+                            "prediction (BENCH_serve.json), or "
                             "'all': every axis in sequence, one trend "
                             "record per axis appended to --trends")
     bench.add_argument("--servers", type=int, default=8)
@@ -276,6 +270,58 @@ def build_parser() -> argparse.ArgumentParser:
                             "always spanned when sampling is on)")
     chaos.add_argument("--json", action="store_true",
                        help="emit the full ChaosReport as JSON")
+
+    def add_serve_args(p: argparse.ArgumentParser) -> None:
+        add_workload_args(p)
+        p.add_argument("--servers", type=int, default=3,
+                       help="live MDS processes (default 3)")
+        p.add_argument("--scheme", choices=registry.available(),
+                       default="d2-tree",
+                       help="scheme under load (default d2-tree)")
+        p.add_argument("--monitors", type=int, default=3,
+                       help="Monitor replicas (default 3)")
+        p.add_argument("--max-ops", type=int, default=None,
+                       help="truncate the trace to this many operations")
+        p.add_argument("--rate", type=float, default=2000.0,
+                       help="offered load in ops/sec: open-loop Poisson "
+                            "arrivals, so a slow cluster builds a backlog "
+                            "instead of throttling the client (default 2000)")
+        p.add_argument("--transport", choices=["unix", "tcp"],
+                       default="unix",
+                       help="socket flavour: unix (default, one socket "
+                            "file per endpoint) or tcp on localhost")
+        p.add_argument("--socket-dir", metavar="DIR", default=None,
+                       help="directory for the unix sockets "
+                            "(default: a self-cleaning temp dir)")
+        p.add_argument("--heartbeat-interval", type=float, default=None,
+                       help="MDS->Monitor heartbeat cadence in wall-clock "
+                            "seconds (default 0.05)")
+        p.add_argument("--heartbeat-timeout", type=float, default=None,
+                       help="heartbeat silence before the Monitor declares "
+                            "a server dead (default 0.25)")
+        p.add_argument("--request-timeout", type=float, default=None,
+                       help="per-attempt client reply timeout (default 0.25)")
+        p.add_argument("--max-retries", type=int, default=None,
+                       help="client attempts per op before it counts as "
+                            "failed (default 16)")
+        add_fault_args(p)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run a live asyncio cluster (real sockets) under client load",
+    )
+    add_serve_args(srv)
+    srv.add_argument("--json", action="store_true",
+                     help="emit the full ServeReport as JSON")
+
+    val = sub.add_parser(
+        "validate",
+        help="replay one seeded workload through both transports "
+             "(SimNetwork + AsyncioTransport) and diff the results",
+    )
+    add_serve_args(val)
+    val.add_argument("--out", metavar="FILE", default=None,
+                     help="also write the comparison report as JSON to FILE")
 
     fig = sub.add_parser("figure", help="regenerate a figure's data as CSV")
     fig.add_argument("name", choices=["fig5", "fig6", "fig7"],
@@ -370,7 +416,7 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    from repro.simulation import FaultPlan, SimulationConfig
+    from repro.simulation import SimulationConfig
 
     workload = _workload(args)
     if args.max_ops is not None:
@@ -378,12 +424,13 @@ def cmd_simulate(args) -> int:
             workload, trace=workload.trace.slice(0, args.max_ops)
         )
     overrides = {}
-    if args.fault:
-        try:
-            overrides["fault_plan"] = FaultPlan.parse(args.fault)
-        except ValueError as error:
-            print(f"error: {error}", file=sys.stderr)
-            return 2
+    try:
+        plan = parse_fault_plan(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if plan is not None:
+        overrides["fault_plan"] = plan
     if args.monitors is not None:
         overrides["num_monitors"] = args.monitors
     if args.max_retries is not None:
@@ -572,6 +619,143 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def _live_configs(args):
+    """Map serve/validate flags onto (LiveConfig, LoadConfig)."""
+    from repro.transport.live import LiveConfig
+    from repro.transport.loadgen import LoadConfig
+
+    live_kwargs = {
+        "num_servers": args.servers,
+        "num_monitors": args.monitors,
+        "transport": args.transport,
+        "socket_dir": args.socket_dir,
+    }
+    if args.heartbeat_interval is not None:
+        live_kwargs["heartbeat_interval"] = args.heartbeat_interval
+    if args.heartbeat_timeout is not None:
+        live_kwargs["heartbeat_timeout"] = args.heartbeat_timeout
+    if args.seed is not None:
+        live_kwargs["seed"] = args.seed
+    load_kwargs = {"rate": args.rate}
+    if args.request_timeout is not None:
+        load_kwargs["request_timeout"] = args.request_timeout
+    if args.max_retries is not None:
+        load_kwargs["max_retries"] = args.max_retries
+    if args.seed is not None:
+        load_kwargs["seed"] = args.seed
+    return LiveConfig(**live_kwargs), LoadConfig(**load_kwargs)
+
+
+def _serve_workload(args):
+    workload = _workload(args)
+    if args.max_ops is not None:
+        workload = dataclasses.replace(
+            workload, trace=workload.trace.slice(0, args.max_ops)
+        )
+    return workload
+
+
+def _print_serve_report(report) -> None:
+    lat = report.latency
+    print(
+        f"{report.scheme} {report.trace} M={report.num_servers} "
+        f"monitors={report.num_monitors} transport={report.transport}"
+    )
+    print(
+        f"  acked {report.acked}/{report.operations}"
+        f"  failed {report.failed}  retries {report.retries}"
+        f"  redirects {report.redirects}"
+    )
+    print(
+        f"  throughput {report.throughput:,.0f} op/s"
+        f"  latency mean {lat['mean'] * 1e3:.2f} ms"
+        f"  p99 {lat['p99'] * 1e3:.2f} ms"
+    )
+    print(
+        f"  epoch {report.epoch}  failovers {report.failovers}"
+        f"  dropped {report.messages_dropped}"
+        f"  faults {len(report.faults)}"
+        f"  {'ok' if report.ok else 'INVARIANT VIOLATIONS'}"
+    )
+
+
+def cmd_serve(args) -> int:
+    from repro.transport.serve import serve_workload
+
+    try:
+        plan = parse_fault_plan(args)
+        live_cfg, load_cfg = _live_configs(args)
+        report = serve_workload(
+            registry.create(args.scheme), _serve_workload(args),
+            live_cfg, load_cfg, plan,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_serve_report(report)
+    if not report.ok:
+        for violation in report.violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.transport.serve import validate_transports
+
+    try:
+        plan = parse_fault_plan(args)
+        live_cfg, load_cfg = _live_configs(args)
+        comparison = validate_transports(
+            registry.create(args.scheme), _serve_workload(args),
+            live_cfg, load_cfg, plan,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(comparison, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote transport comparison to {args.out}", file=sys.stderr)
+    live = comparison["live"]
+    sim = comparison["simulated"]
+    delta = comparison["delta"]
+    print(
+        f"{comparison['scheme']} {comparison['trace']} "
+        f"M={comparison['num_servers']} "
+        f"monitors={comparison['num_monitors']} "
+        f"ops={comparison['operations']}"
+    )
+    print(
+        f"  live       {live['throughput']:>12,.0f} op/s"
+        f"  latency {live['latency']['mean'] * 1e3:>8.3f} ms"
+        f"  failed {live['failed']}"
+    )
+    print(
+        f"  simulated  {sim['throughput']:>12,.0f} op/s"
+        f"  latency {sim['latency_mean'] * 1e3:>8.3f} ms"
+        f"  failed {sim['failed']}"
+    )
+    ratio = delta["throughput_ratio"]
+    lratio = delta["latency_ratio"]
+    print(
+        "  live/sim   "
+        + (f"{ratio:>11.3f}x" if ratio is not None else "        n/a")
+        + "  latency "
+        + (f"{lratio:>7.3f}x" if lratio is not None else "    n/a")
+        + f"  acked_matches={delta['acked_matches']}"
+    )
+    if not comparison["ok"]:
+        for violation in comparison["violations"]:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 FIGURE_LABELS = {
     "fig5": "throughput (ops/s)",
     "fig6": "locality (E-9)",
@@ -588,6 +772,8 @@ def cmd_bench(args) -> int:
         return _cmd_bench_simulate(args)
     if args.axis == "failover":
         return _cmd_bench_failover(args)
+    if args.axis == "serve":
+        return _cmd_bench_serve(args)
     from repro.bench import bench_routing, write_report
 
     workload = _workload(args)
@@ -668,6 +854,41 @@ def _cmd_bench_failover(args) -> int:
     return 0
 
 
+def _cmd_bench_serve(args) -> int:
+    from repro.bench import bench_serve, write_report
+
+    workload = _workload(args)
+    scheme_name = args.scheme[0] if args.scheme else "d2-tree"
+    report = bench_serve(
+        workload,
+        num_servers=min(args.servers, 4),  # live tasks, not sim arrays
+        scheme_name=scheme_name,
+        repeats=args.repeats,
+        max_ops=args.max_ops,
+        seed=args.seed,
+    )
+    out = args.out or "BENCH_serve.json"
+    write_report(report, out)
+    _maybe_trend("serve", report, args)
+    lat = report["latency"]
+    ratio = report["live_sim_throughput_ratio"]
+    print(
+        f"serve      {report['throughput']:>12,.0f} op/s"
+        f"  latency p50 {lat['p50'] * 1e3:>6.2f} ms"
+        f"  p99 {lat['p99'] * 1e3:>6.2f} ms"
+        f"  ({report['acked']:,d}/{report['operations']:,d} acked, "
+        f"live/sim "
+        + (f"{ratio:.2f}x)" if ratio is not None else "n/a)")
+    )
+    print(f"-> {out}")
+    if not report["ok"]:
+        print("serve bench FAILED: invariant violations", file=sys.stderr)
+        for violation in report["violations"]:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench_all(args) -> int:
     """Run every bench axis in sequence; one trend record per axis."""
     if args.trends is None:
@@ -678,6 +899,7 @@ def _cmd_bench_all(args) -> int:
         ("simulate", _cmd_bench_simulate),
         ("recovery", _cmd_bench_recovery),
         ("failover", _cmd_bench_failover),
+        ("serve", _cmd_bench_serve),
     ):
         sub_args = argparse.Namespace(**vars(args))
         sub_args.axis = axis
@@ -867,6 +1089,8 @@ COMMANDS = {
     "generate": cmd_generate,
     "evaluate": cmd_evaluate,
     "simulate": cmd_simulate,
+    "serve": cmd_serve,
+    "validate": cmd_validate,
     "bench": cmd_bench,
     "chaos": cmd_chaos,
     "figure": cmd_figure,

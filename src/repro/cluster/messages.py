@@ -1,19 +1,61 @@
-"""Message/record types exchanged in the simulated cluster."""
+"""Message/record types exchanged in the cluster (simulated or live).
+
+Every type here carries an explicit wire codec — :meth:`to_wire` producing
+a JSON-ready dict stamped with :data:`WIRE_VERSION` and a ``type`` tag, and
+:meth:`from_wire` validating and rebuilding the exact value. The codecs are
+the stable contract the live asyncio transport frames over sockets (see
+``repro.transport.wire``); the simulator exchanges the same objects
+in-process. ``from_wire(to_wire(msg)) == msg`` holds for every type
+(property-tested in ``tests/test_wire.py``), and a frame from an
+incompatible schema version is rejected at decode time rather than
+misparsed.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, List, NamedTuple, Tuple
+from typing import Any, Dict, List, NamedTuple, Tuple
 
 __all__ = [
+    "WIRE_VERSION",
+    "WIRE_TYPES",
     "VisitKind",
     "Visit",
     "RoutePlan",
     "Heartbeat",
     "Directive",
     "OperationOutcome",
+    "ClientRequest",
+    "ClientReply",
+    "to_wire",
+    "from_wire",
 ]
+
+#: Schema version stamped into every wire dict. Bump on any incompatible
+#: field change; decoders reject mismatched versions outright (a live
+#: cluster never limps along half-parsing a newer peer's frames).
+WIRE_VERSION = 1
+
+
+def _wire_header(type_name: str) -> Dict[str, Any]:
+    return {"v": WIRE_VERSION, "type": type_name}
+
+
+def _check_wire(wire: Dict[str, Any], type_name: str) -> Dict[str, Any]:
+    """Validate the version/type envelope; returns ``wire`` for chaining."""
+    version = wire.get("v")
+    if version != WIRE_VERSION:
+        raise ValueError(
+            f"wire schema version {version!r} is not supported "
+            f"(this build speaks version {WIRE_VERSION})"
+        )
+    actual = wire.get("type")
+    if actual != type_name:
+        raise ValueError(
+            f"expected a {type_name!r} wire message, got {actual!r}"
+        )
+    return wire
 
 
 class VisitKind(enum.Enum):
@@ -37,6 +79,17 @@ class Visit(NamedTuple):
     server: int
     kind: VisitKind
 
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _wire_header("visit")
+        wire["server"] = self.server
+        wire["kind"] = self.kind.value
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "Visit":
+        _check_wire(wire, "visit")
+        return cls(server=int(wire["server"]), kind=VisitKind(wire["kind"]))
+
 
 @dataclass
 class RoutePlan:
@@ -56,6 +109,25 @@ class RoutePlan:
         """Server-to-server transfers implied by the sequential visits."""
         return max(0, len(self.visits) - 1)
 
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _wire_header("route_plan")
+        wire["visits"] = [[v.server, v.kind.value] for v in self.visits]
+        wire["fanout"] = list(self.fanout)
+        wire["lock_key"] = self.lock_key
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "RoutePlan":
+        _check_wire(wire, "route_plan")
+        return cls(
+            visits=[
+                Visit(int(server), VisitKind(kind))
+                for server, kind in wire["visits"]
+            ],
+            fanout=[int(s) for s in wire["fanout"]],
+            lock_key=wire["lock_key"],
+        )
+
 
 @dataclass(frozen=True)
 class Heartbeat:
@@ -65,6 +137,24 @@ class Heartbeat:
     time: float
     load: float
     relative_capacity: float
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _wire_header("heartbeat")
+        wire["server"] = self.server
+        wire["time"] = self.time
+        wire["load"] = self.load
+        wire["relative_capacity"] = self.relative_capacity
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "Heartbeat":
+        _check_wire(wire, "heartbeat")
+        return cls(
+            server=int(wire["server"]),
+            time=float(wire["time"]),
+            load=float(wire["load"]),
+            relative_capacity=float(wire["relative_capacity"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -97,6 +187,28 @@ class Directive:
         record.update(self.info)
         return record
 
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _wire_header("directive")
+        wire["epoch"] = self.epoch
+        wire["kind"] = self.kind
+        wire["server"] = self.server
+        wire["t"] = self.t
+        # info is free-form but must be JSON-encodable on the wire; the
+        # pair-of-pairs shape survives as a list of [key, value] pairs.
+        wire["info"] = [[key, value] for key, value in self.info]
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "Directive":
+        _check_wire(wire, "directive")
+        return cls(
+            epoch=int(wire["epoch"]),
+            kind=wire["kind"],
+            server=int(wire["server"]),
+            t=float(wire["t"]),
+            info=tuple((key, value) for key, value in wire["info"]),
+        )
+
 
 @dataclass
 class OperationOutcome:
@@ -112,3 +224,132 @@ class OperationOutcome:
     def latency(self) -> float:
         """End-to-end latency in seconds."""
         return self.completion - self.start
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _wire_header("operation_outcome")
+        wire["start"] = self.start
+        wire["completion"] = self.completion
+        wire["jumps"] = self.jumps
+        wire["redirected"] = self.redirected
+        wire["was_update"] = self.was_update
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "OperationOutcome":
+        _check_wire(wire, "operation_outcome")
+        return cls(
+            start=float(wire["start"]),
+            completion=float(wire["completion"]),
+            jumps=int(wire["jumps"]),
+            redirected=bool(wire["redirected"]),
+            was_update=bool(wire["was_update"]),
+        )
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """One metadata operation submitted to a live MDS over the wire.
+
+    ``op_id`` is assigned by the load generator and stable across retries
+    and redirects, which is what makes live-mode accounting exactly-once:
+    a server that already acknowledged an id re-acks idempotently.
+    """
+
+    op_id: int
+    path: str
+    #: Operation category value (``repro.traces.trace.OpType.value``); kept
+    #: as the plain string so this module stays import-light.
+    op: str
+    client_id: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _wire_header("client_request")
+        wire["op_id"] = self.op_id
+        wire["path"] = self.path
+        wire["op"] = self.op
+        wire["client_id"] = self.client_id
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "ClientRequest":
+        _check_wire(wire, "client_request")
+        return cls(
+            op_id=int(wire["op_id"]),
+            path=wire["path"],
+            op=wire["op"],
+            client_id=int(wire["client_id"]),
+        )
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """A live MDS's answer to a :class:`ClientRequest`.
+
+    ``status`` is one of:
+
+    * ``"ack"``       — the receiving server owns the path and served it;
+    * ``"redirect"``  — the receiving server does not own the path;
+      ``owner`` names the server the client should retry against
+      (the live analogue of the simulator's stale-cache redirect);
+    * ``"error"``     — the request could not be served (unknown path).
+    """
+
+    op_id: int
+    status: str
+    server: int
+    owner: int = -1
+    epoch: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        wire = _wire_header("client_reply")
+        wire["op_id"] = self.op_id
+        wire["status"] = self.status
+        wire["server"] = self.server
+        wire["owner"] = self.owner
+        wire["epoch"] = self.epoch
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "ClientReply":
+        _check_wire(wire, "client_reply")
+        return cls(
+            op_id=int(wire["op_id"]),
+            status=wire["status"],
+            server=int(wire["server"]),
+            owner=int(wire["owner"]),
+            epoch=int(wire["epoch"]),
+        )
+
+
+#: type tag -> message class; the dispatch table :func:`from_wire` and the
+#: live transport's frame decoder share.
+WIRE_TYPES = {
+    "visit": Visit,
+    "route_plan": RoutePlan,
+    "heartbeat": Heartbeat,
+    "directive": Directive,
+    "operation_outcome": OperationOutcome,
+    "client_request": ClientRequest,
+    "client_reply": ClientReply,
+}
+
+
+def to_wire(message) -> Dict[str, Any]:
+    """Serialize any cluster message to its JSON-ready wire dict."""
+    return message.to_wire()
+
+
+def from_wire(wire: Dict[str, Any]):
+    """Decode a wire dict back into the concrete message type.
+
+    Dispatches on the ``type`` tag; raises ``ValueError`` for unknown tags
+    and incompatible schema versions.
+    """
+    type_name = wire.get("type")
+    cls = WIRE_TYPES.get(type_name)
+    if cls is None:
+        known = ", ".join(sorted(WIRE_TYPES))
+        raise ValueError(
+            f"unknown wire message type {type_name!r} (known: {known})"
+        )
+    return cls.from_wire(wire)

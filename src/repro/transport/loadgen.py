@@ -1,0 +1,325 @@
+"""Open-loop client load generator for the live cluster.
+
+Arrivals are a seeded Poisson process at a configured rate — open-loop, so
+a slow or faulted cluster builds a backlog instead of silently throttling
+the offered load (the honest way to measure a live system; a bounded
+in-flight cap guards the event loop, and saturating it is reported).
+
+Each operation gets a stable ``op_id`` before the first send. Retries,
+redirects and duplicate deliveries all reuse it, and the MDS ack ledger is
+keyed by it — that is the whole exactly-once accounting story: *issued ==
+acked + failed* must hold at the clients no matter what the network did,
+and every client-acknowledged id must appear in some server's ledger.
+
+Connections are multiplexed: one stream per MDS shared by every in-flight
+operation, with replies correlated back to waiters by ``op_id``. A reset
+connection (the server crashed) fails all its waiters, who retry against
+another entry server with capped exponential backoff.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.messages import ClientReply, ClientRequest
+from repro.transport.asyncio_net import AsyncioTransport
+from repro.transport.base import CLIENT_ADDR, mds_addr
+from repro.transport.wire import encode_frame, read_frame
+
+__all__ = [
+    "LoadConfig",
+    "LoadReport",
+    "LoadGenerator",
+    "latency_summary",
+    "trace_ops",
+]
+
+
+@dataclass
+class LoadConfig:
+    """Client-side knobs (wall-clock seconds throughout)."""
+
+    #: Mean offered arrival rate, operations per second.
+    rate: float = 4000.0
+    #: Per-attempt reply timeout (a lost request or reply looks like this).
+    request_timeout: float = 0.25
+    #: Attempts per operation before it counts as failed.
+    max_retries: int = 16
+    retry_backoff_base: float = 0.002
+    retry_backoff_cap: float = 0.1
+    #: In-flight cap protecting the event loop; hitting it is reported as
+    #: ``saturated`` (the run degraded from open- to closed-loop there).
+    max_inflight: int = 1024
+    seed: int = 7
+
+
+@dataclass
+class LoadReport:
+    """Client-side outcome of one live run."""
+
+    issued: int = 0
+    failed: int = 0
+    retries: int = 0
+    redirects: int = 0
+    #: Dispatches that found the in-flight cap exhausted.
+    saturated: int = 0
+    duration: float = 0.0
+    acked_ids: Set[int] = field(default_factory=set)
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def acked(self) -> int:
+        return len(self.acked_ids)
+
+    @property
+    def throughput(self) -> float:
+        return self.acked / self.duration if self.duration > 0 else 0.0
+
+
+def latency_summary(latencies: Sequence[float]) -> Dict[str, float]:
+    """Mean / p50 / p95 / p99 over acked-op latencies (empty-safe)."""
+    if not latencies:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    ordered = sorted(latencies)
+
+    def pct(q: float) -> float:
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    return {
+        "mean": sum(ordered) / len(ordered),
+        "p50": pct(0.50),
+        "p95": pct(0.95),
+        "p99": pct(0.99),
+    }
+
+
+class _ServerConn:
+    """One multiplexed client connection to an MDS endpoint.
+
+    A background reader routes reply frames to waiters by ``op_id``. When
+    the stream dies (server crash, aborted socket) every waiter gets the
+    connection error and the pool forgets the stream; the next request
+    reconnects lazily.
+    """
+
+    def __init__(self, transport: AsyncioTransport, server: int) -> None:
+        self.transport = transport
+        self.server = server
+        self.addr = mds_addr(server)
+        self._writer = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._lock = asyncio.Lock()
+
+    async def _ensure(self) -> None:
+        if self._writer is not None:
+            return
+        reader, writer = await self.transport.connect(self.addr)
+        self._writer = writer
+        self._reader_task = asyncio.create_task(self._read_loop(reader))
+
+    async def _read_loop(self, reader) -> None:
+        try:
+            while True:
+                payload = await read_frame(reader)
+                if payload is None:
+                    break
+                if payload.get("type") != "client_reply":
+                    continue
+                reply = ClientReply.from_wire(payload)
+                future = self._pending.pop(reply.op_id, None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            self._fail_all(ConnectionResetError(f"{self.addr} stream died"))
+            self._writer = None
+
+    def _fail_all(self, error: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+                # Mark the exception retrieved up front: a waiter that
+                # already bailed on its own send error never awaits this
+                # future, and an unretrieved exception would warn at GC.
+                # Waiters still awaiting it receive the exception anyway.
+                future.exception()
+        self._pending.clear()
+
+    async def request(
+        self, request: ClientRequest, timeout: float
+    ) -> ClientReply:
+        """Send one request and await its correlated reply.
+
+        Raises ``ConnectionError`` / ``OSError`` when the stream is dead
+        and ``asyncio.TimeoutError`` when no reply lands in time (which is
+        also what a fabric-dropped request or reply frame looks like).
+        """
+        loop = asyncio.get_running_loop()
+        async with self._lock:
+            await self._ensure()
+            writer = self._writer
+        future: asyncio.Future = loop.create_future()
+        self._pending[request.op_id] = future
+        try:
+            sent = await self.transport.send_data(
+                CLIENT_ADDR, self.addr, writer, encode_frame(request.to_wire())
+            )
+            # An unsent (fabric-lost) frame still waits out the timeout —
+            # the client cannot know its request evaporated.
+            del sent
+            return await asyncio.wait_for(future, timeout)
+        finally:
+            self._pending.pop(request.op_id, None)
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:  # pragma: no cover - platform-dependent
+                pass
+            self._writer = None
+        self._fail_all(ConnectionResetError("client pool closed"))
+
+
+class LoadGenerator:
+    """Drive a list of trace operations through the live transport."""
+
+    def __init__(
+        self,
+        transport: AsyncioTransport,
+        num_servers: int,
+        ops: Sequence[Tuple[int, str, str]],
+        cfg: Optional[LoadConfig] = None,
+    ) -> None:
+        self.transport = transport
+        self.num_servers = num_servers
+        #: ``(op_id, path, op_value)`` triples, op_id stable across retries.
+        self.ops = list(ops)
+        self.cfg = cfg or LoadConfig()
+        self.report = LoadReport(issued=len(self.ops))
+        self._conns: Dict[int, _ServerConn] = {}
+        self._done = 0
+
+    @property
+    def completed(self) -> int:
+        """Operations finished (acked or failed) — the fault-plan clock."""
+        return self._done
+
+    def _conn(self, server: int) -> _ServerConn:
+        conn = self._conns.get(server)
+        if conn is None:
+            conn = _ServerConn(self.transport, server)
+            self._conns[server] = conn
+        return conn
+
+    # ------------------------------------------------------------------
+    async def run(self) -> LoadReport:
+        """Dispatch every operation on its Poisson arrival; await the tail."""
+        cfg = self.cfg
+        loop = asyncio.get_running_loop()
+        rng = random.Random((cfg.seed << 12) ^ 0xA11CE)
+        offsets: List[float] = []
+        clock = 0.0
+        for _ in self.ops:
+            clock += rng.expovariate(cfg.rate)
+            offsets.append(clock)
+        # Entry servers are pre-drawn so the draw sequence is deterministic
+        # regardless of how the in-flight tasks interleave.
+        entries = [rng.randrange(self.num_servers) for _ in self.ops]
+
+        gate = asyncio.Semaphore(cfg.max_inflight)
+        started = loop.time()
+        tasks: List[asyncio.Task] = []
+        for (op_id, path, op_value), offset, entry in zip(
+            self.ops, offsets, entries
+        ):
+            lag = started + offset - loop.time()
+            if lag > 0:
+                await asyncio.sleep(lag)
+            if gate.locked():
+                self.report.saturated += 1
+            await gate.acquire()
+            tasks.append(
+                asyncio.create_task(
+                    self._run_op(op_id, path, op_value, entry, gate)
+                )
+            )
+        if tasks:
+            await asyncio.gather(*tasks)
+        self.report.duration = loop.time() - started
+        await self.close()
+        return self.report
+
+    async def _run_op(
+        self, op_id: int, path: str, op_value: str, entry: int,
+        gate: asyncio.Semaphore,
+    ) -> None:
+        cfg = self.cfg
+        loop = asyncio.get_running_loop()
+        # Per-op RNG: retry entry picks stay deterministic under any task
+        # interleaving (they never touch the shared dispatch RNG).
+        rng = random.Random((cfg.seed << 20) ^ (op_id * 2654435761 % 2**31))
+        request = ClientRequest(op_id=op_id, path=path, op=op_value)
+        start = loop.time()
+        target = entry
+        try:
+            for attempt in range(cfg.max_retries):
+                try:
+                    reply = await self._conn(target).request(
+                        request, cfg.request_timeout
+                    )
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    self.report.retries += 1
+                    backoff = min(
+                        cfg.retry_backoff_cap,
+                        cfg.retry_backoff_base * (2 ** attempt),
+                    )
+                    await asyncio.sleep(backoff * (0.5 + rng.random()))
+                    target = rng.randrange(self.num_servers)
+                    continue
+                if reply.status == "ack":
+                    self.report.acked_ids.add(op_id)
+                    self.report.latencies.append(loop.time() - start)
+                    return
+                if reply.status == "redirect" and reply.owner >= 0:
+                    self.report.redirects += 1
+                    target = reply.owner
+                    continue
+                # "error" (no routing entry yet) or a bogus redirect:
+                # try another entry server after a short backoff.
+                self.report.retries += 1
+                await asyncio.sleep(
+                    cfg.retry_backoff_base * (0.5 + rng.random())
+                )
+                target = rng.randrange(self.num_servers)
+            self.report.failed += 1
+        finally:
+            self._done += 1
+            gate.release()
+
+    async def close(self) -> None:
+        for conn in self._conns.values():
+            await conn.close()
+        self._conns.clear()
+
+
+def trace_ops(trace) -> List[Tuple[int, str, str]]:
+    """Flatten a Trace into ``(op_id, path, op_value)`` triples.
+
+    Op ids are the record's position in the trace — the same identity the
+    simulator's accounting uses, which is what makes the live and simulated
+    acked-op sets directly comparable.
+    """
+    return [
+        (index, record.path, record.op.value)
+        for index, record in enumerate(trace)
+    ]

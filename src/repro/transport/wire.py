@@ -1,0 +1,113 @@
+"""Length-prefixed wire framing for the live asyncio transport.
+
+A frame is a 4-byte big-endian unsigned length followed by that many bytes
+of UTF-8 compact JSON — the :meth:`to_wire` dict of one
+:mod:`repro.cluster.messages` type (schema-versioned; see
+``messages.WIRE_VERSION``). The length prefix is what makes torn reads
+detectable: a reader either gets a whole frame or knows the stream died
+mid-frame.
+
+The codec is deliberately boring — JSON over sockets is plenty for
+metadata-sized messages (the paper's requests are tiny), and a
+human-readable wire makes live-cluster debugging with ``socat`` trivial.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.cluster import messages
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameError",
+    "encode_frame",
+    "decode_payload",
+    "encode_message",
+    "read_frame",
+    "read_message",
+    "write_frame",
+    "write_message",
+]
+
+#: Upper bound on one frame's payload. Metadata messages are a few hundred
+#: bytes; ownership-broadcast directives scale with moved subtrees but stay
+#: far below this. Anything larger is a corrupt or hostile length prefix.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A malformed frame: oversized length prefix or undecodable payload."""
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one wire dict to ``length || json`` bytes."""
+    data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame payload of {len(data)} bytes exceeds cap")
+    return _LEN.pack(len(data)) + data
+
+
+def decode_payload(data: bytes) -> Dict[str, Any]:
+    """Parse a frame payload (the bytes after the length prefix)."""
+    try:
+        payload = json.loads(data.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"undecodable frame payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return payload
+
+
+def encode_message(message) -> bytes:
+    """Frame one cluster message (``messages.to_wire`` + length prefix)."""
+    return encode_frame(messages.to_wire(message))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames).
+
+    An EOF *inside* a frame (torn stream) raises ``FrameError`` — the
+    distinction matters to the live MDS, which treats clean EOF as a client
+    hanging up and a torn frame as a connection fault.
+    """
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise FrameError("stream ended inside a frame header") from error
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds cap")
+    try:
+        data = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError("stream ended inside a frame body") from error
+    return decode_payload(data)
+
+
+async def read_message(reader: asyncio.StreamReader):
+    """Read one frame and decode it to a concrete message (None on EOF)."""
+    payload = await read_frame(reader)
+    if payload is None:
+        return None
+    return messages.from_wire(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: Dict[str, Any]
+) -> None:
+    """Write one frame and drain (applies stream backpressure)."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+async def write_message(writer: asyncio.StreamWriter, message) -> None:
+    """Frame and write one cluster message."""
+    await write_frame(writer, messages.to_wire(message))

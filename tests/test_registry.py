@@ -1,11 +1,8 @@
-"""Scheme-registry contracts: roster, round-trips, the deprecation shim."""
-
-import warnings
+"""Scheme-registry contracts: roster, round-trips, shim removal."""
 
 import pytest
 
 from repro import registry
-from repro.cli import SCHEME_MAKERS
 from repro.core import D2TreeScheme
 from repro.placement import MetadataScheme
 
@@ -77,16 +74,12 @@ def test_make_all_yields_distinct_instances():
 
 
 # ----------------------------------------------------------------------
-# Deprecated SCHEME_MAKERS shim
+# SCHEME_MAKERS shim removal: the deprecated mapping must stay gone so
+# stale imports fail loudly instead of silently resurrecting the old API.
 # ----------------------------------------------------------------------
-def test_scheme_makers_shim_still_works():
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        assert set(SCHEME_MAKERS) == set(registry.available())
-        scheme = SCHEME_MAKERS["d2-tree"]()
-        assert scheme.name == "d2-tree"
+def test_scheme_makers_shim_is_removed():
+    import repro.cli
 
-
-def test_scheme_makers_shim_warns():
-    with pytest.warns(DeprecationWarning):
-        SCHEME_MAKERS["d2-tree"]
+    assert not hasattr(repro.cli, "SCHEME_MAKERS")
+    with pytest.raises(ImportError):
+        from repro.cli import SCHEME_MAKERS  # noqa: F401

@@ -1,0 +1,145 @@
+"""Transport parity: SimNetwork and AsyncioTransport agree on outcomes.
+
+The unified Transport API's core promise: the same seeded workload driven
+through the discrete-event simulator and through a real asyncio cluster
+reaches the same logical end state — every op acked exactly once, the
+same final namespace ownership, and the same safety-invariant verdicts
+when faults are injected. Wall-clock numbers differ (that is what
+``repro validate`` measures); *correctness* must not.
+"""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro import registry
+from repro.chaos import run_case
+from repro.simulation import FaultPlan, SimulationConfig, simulate
+from repro.traces import DatasetProfile, load_workload
+from repro.transport.live import (
+    LiveCluster,
+    LiveConfig,
+    check_invariants,
+    owner_map,
+)
+from repro.transport.loadgen import LoadConfig, LoadGenerator, trace_ops
+
+NUM_SERVERS = 3
+NUM_MONITORS = 3
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def workload():
+    profile = dataclasses.replace(
+        DatasetProfile.dtr(num_nodes=300, scale=1e-4), seed=SEED
+    )
+    bundle = load_workload(profile)
+    return dataclasses.replace(bundle, trace=bundle.trace.slice(0, 500))
+
+
+def _live_run(workload, plan=None):
+    """Boot a live cluster, drive the trace, quiesce, snapshot state."""
+
+    async def go():
+        cluster = LiveCluster(
+            registry.create("d2-tree"),
+            workload,
+            LiveConfig(
+                num_servers=NUM_SERVERS,
+                num_monitors=NUM_MONITORS,
+                seed=SEED,
+            ),
+        )
+        await cluster.start()
+        try:
+            generator = LoadGenerator(
+                cluster.transport,
+                NUM_SERVERS,
+                trace_ops(workload.trace),
+                LoadConfig(rate=4000.0, seed=SEED),
+            )
+            fault_task = None
+            if plan:
+                fault_task = asyncio.create_task(
+                    cluster.run_fault_plan(plan, lambda: generator.completed)
+                )
+            load = await generator.run()
+            if fault_task is not None:
+                fault_task.cancel()
+                await cluster.quiesce()
+            return {
+                "load": load,
+                "violations": check_invariants(cluster, load),
+                "ownership": owner_map(cluster.placement, workload.tree),
+                "mds_maps": [dict(s.owners) for s in cluster.servers],
+                "epoch": cluster.group.epoch,
+            }
+        finally:
+            await cluster.stop()
+
+    return asyncio.run(go())
+
+
+def test_fault_free_parity(workload):
+    live = _live_run(workload)
+    sim = simulate(
+        registry.create("d2-tree"),
+        workload,
+        NUM_SERVERS,
+        SimulationConfig(
+            adjust_every_ops=0,
+            num_monitors=NUM_MONITORS,
+            seed=SEED,
+        ),
+    )
+
+    # Same acked-op set: both transports acknowledge every op exactly once.
+    total = len(workload.trace)
+    assert live["load"].acked_ids == set(range(total))
+    assert live["load"].failed == 0
+    assert sim.operations == total
+    assert sim.failed_operations == 0
+
+    # Same final namespace ownership: without faults or dynamic
+    # adjustment, neither transport moves anything — both end exactly at
+    # the scheme's deterministic initial partition.
+    expected = owner_map(
+        registry.create("d2-tree").partition(workload.tree, NUM_SERVERS),
+        workload.tree,
+    )
+    assert live["ownership"] == expected
+    assert live["violations"] == []
+
+
+def test_every_live_mds_converges_to_the_authoritative_map(workload):
+    live = _live_run(workload)
+    # The broadcast protocol must leave every (live) MDS holding the full
+    # authoritative routing map — a stale map would strand redirects.
+    for mds_map in live["mds_maps"]:
+        assert mds_map == live["ownership"]
+
+
+def test_partition_fault_produces_same_invariant_verdicts(workload):
+    plan = FaultPlan.parse([
+        "partition:{0}|{1,2,m0,m1,m2}@ops=100",
+        "heal:*@ops=300",
+    ])
+
+    live = _live_run(workload, plan=plan)
+    assert live["violations"] == []
+    # Post-heal the cluster must re-converge on one authoritative map.
+    assert live["load"].acked == len(workload.trace)
+
+    case = run_case(
+        "d2-tree",
+        workload,
+        NUM_SERVERS,
+        SEED,
+        num_monitors=NUM_MONITORS,
+        plan=plan,
+    )
+    # Same verdict from the simulated transport under the same plan.
+    assert case.violations == []
+    assert case.ok
