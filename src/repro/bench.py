@@ -821,6 +821,15 @@ def trend_record(axis: str, report: Dict[str, object]) -> Dict[str, object]:
         record["live_sim_throughput_ratio"] = (
             report["live_sim_throughput_ratio"]
         )
+    elif axis == "hunt":
+        # Fed a HuntReport dict (repro hunt --trends): track how much of
+        # the fault space each hunt covered and what it turned up.
+        record["seeds"] = len(report["seeds"])
+        record["findings"] = report["findings"]
+        record["fault_events"] = sum(report["coverage"].values())
+        record["fault_kinds"] = len(report["coverage"])
+        record["shrink_probes"] = report["probes"]
+        record["store"] = report["store"]
     else:
         raise ValueError(f"unknown bench axis: {axis}")
     return record

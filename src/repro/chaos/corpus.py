@@ -1,0 +1,236 @@
+"""The committed chaos regression corpus (``tests/corpus/*.json``).
+
+Every counterexample ``repro hunt`` minimizes can be promoted into a small
+JSON file that pins the *complete* recipe for one chaos run: workload
+profile + seed, cluster shape, store backend and the minimized fault
+specs. The committed corpus is replayed on every PR (tests/test_corpus.py
+and the CI chaos job) through both the simulator and the live transport —
+a case that once exposed a bug keeps guarding against its return, at the
+cost of one short deterministic run instead of a whole hunt.
+
+A corpus case must replay *green* on the current tree: the corpus records
+schedules that historically broke an invariant (or exercised a
+near-miss worth pinning); once the bug is fixed the case stays as the
+regression witness. ``repro hunt --promote DIR`` writes new minimized
+counterexamples here; review the diff and commit the file once the
+underlying bug is fixed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.chaos.harness import ChaosCase, run_case
+from repro.simulation.faults import FaultPlan
+from repro.traces import DatasetProfile, load_workload
+
+__all__ = [
+    "CorpusCase",
+    "load_corpus",
+    "replay_case_live",
+    "replay_case_sim",
+    "save_case",
+]
+
+#: Workload profiles a corpus case may reference (the CLI's --trace set).
+_PROFILES: Dict[str, Callable[..., DatasetProfile]] = {
+    "dtr": DatasetProfile.dtr,
+    "lmbe": DatasetProfile.lmbe,
+    "ra": DatasetProfile.ra,
+}
+
+
+@dataclass
+class CorpusCase:
+    """One committed regression case: everything needed to replay it."""
+
+    scheme: str
+    trace: str           # profile name: dtr | lmbe | ra
+    nodes: int
+    scale: float
+    seed: int            # workload + schedule + simulator seed
+    num_servers: int
+    num_monitors: int
+    faults: List[str]    # minimized --fault specs
+    ops: Optional[int] = None   # trace truncation (None = full trace)
+    store: str = "memory"
+    #: Violations observed when the case was captured (documentation: the
+    #: replay asserts the *current* tree is clean, not that these recur).
+    found_violations: List[str] = field(default_factory=list)
+    #: Free-text provenance ("hunt seed=5 shrunk 9->1 events", ...).
+    origin: str = ""
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.trace not in _PROFILES:
+            raise ValueError(
+                f"unknown trace profile {self.trace!r} "
+                f"(expected one of {sorted(_PROFILES)})"
+            )
+        if not self.name:
+            self.name = f"case-{self.content_hash()[:10]}"
+
+    def content_hash(self) -> str:
+        """Stable digest of the replay-relevant fields (names the file)."""
+        payload = json.dumps(
+            {
+                "scheme": self.scheme,
+                "trace": self.trace,
+                "nodes": self.nodes,
+                "scale": self.scale,
+                "seed": self.seed,
+                "num_servers": self.num_servers,
+                "num_monitors": self.num_monitors,
+                "ops": self.ops,
+                "store": self.store,
+                "faults": list(self.faults),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scheme": self.scheme,
+            "trace": self.trace,
+            "nodes": self.nodes,
+            "scale": self.scale,
+            "seed": self.seed,
+            "num_servers": self.num_servers,
+            "num_monitors": self.num_monitors,
+            "ops": self.ops,
+            "store": self.store,
+            "faults": list(self.faults),
+            "found_violations": list(self.found_violations),
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusCase":
+        return cls(
+            scheme=data["scheme"],
+            trace=data["trace"],
+            nodes=int(data["nodes"]),
+            scale=float(data["scale"]),
+            seed=int(data["seed"]),
+            num_servers=int(data["num_servers"]),
+            num_monitors=int(data["num_monitors"]),
+            faults=list(data["faults"]),
+            ops=data.get("ops"),
+            store=data.get("store", "memory"),
+            found_violations=list(data.get("found_violations", ())),
+            origin=data.get("origin", ""),
+            name=data.get("name", ""),
+        )
+
+    # ------------------------------------------------------------------
+    def workload(self):
+        """Rebuild the exact workload this case replays."""
+        profile = _PROFILES[self.trace](num_nodes=self.nodes, scale=self.scale)
+        profile = dataclasses.replace(profile, seed=self.seed)
+        workload = load_workload(profile)
+        if self.ops is not None:
+            workload = dataclasses.replace(
+                workload, trace=workload.trace.slice(0, self.ops)
+            )
+        return workload
+
+    def replay_command(self) -> str:
+        """The exact ``repro chaos`` invocation replaying this case."""
+        parts = [
+            "repro chaos",
+            f"--trace {self.trace} --nodes {self.nodes}",
+            f"--scale {self.scale:g}",
+            f"--servers {self.num_servers} --scheme {self.scheme}",
+            f"--monitors {self.num_monitors}",
+            f"--seeds 1 --seed-base {self.seed} --history",
+        ]
+        if self.ops is not None:
+            parts.append(f"--ops {self.ops}")
+        if self.store != "memory":
+            parts.append(f"--store {self.store}")
+        for spec in self.faults:
+            parts.append(f"--fault {spec}")
+        return " ".join(parts)
+
+
+def save_case(case: CorpusCase, directory: str) -> str:
+    """Write one case as ``<directory>/<name>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{case.name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(case.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> List[CorpusCase]:
+    """Load every ``*.json`` case in a directory, sorted by file name."""
+    cases: List[CorpusCase] = []
+    if not os.path.isdir(directory):
+        return cases
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".json"):
+            continue
+        with open(os.path.join(directory, entry), encoding="utf-8") as handle:
+            cases.append(CorpusCase.from_dict(json.load(handle)))
+    return cases
+
+
+def replay_case_sim(
+    case: CorpusCase, store_dir: Optional[str] = None
+) -> ChaosCase:
+    """Replay one corpus case through the simulator, history audit on."""
+    plan = FaultPlan.parse(case.faults)
+    return run_case(
+        case.scheme,
+        case.workload(),
+        case.num_servers,
+        case.seed,
+        num_monitors=case.num_monitors,
+        plan=plan,
+        store=case.store,
+        store_dir=store_dir,
+        history=True,
+    )
+
+
+def replay_case_live(
+    case: CorpusCase,
+    socket_dir: Optional[str] = None,
+    rate: float = 2000.0,
+):
+    """Replay one corpus case through the live asyncio transport.
+
+    Live mode is storeless, so ``store`` is ignored (the kill9 family maps
+    onto volatile wipes either way) and the history audit runs with the
+    wipe-excused volatile ledgers. Returns the ``ServeReport``.
+    """
+    # Imported lazily: repro.transport imports this package for the
+    # history recorder, so the module level here must stay transport-free.
+    from repro import registry
+    from repro.transport.live import LiveConfig
+    from repro.transport.loadgen import LoadConfig
+    from repro.transport.serve import serve_workload
+
+    plan = FaultPlan.parse(case.faults)
+    live_cfg = LiveConfig(
+        num_servers=case.num_servers,
+        num_monitors=case.num_monitors,
+        socket_dir=socket_dir,
+        seed=case.seed,
+    )
+    load_cfg = LoadConfig(rate=rate, seed=case.seed)
+    return serve_workload(
+        registry.create(case.scheme),
+        case.workload(),
+        live_cfg,
+        load_cfg,
+        plan,
+    )

@@ -1,10 +1,8 @@
-"""Chaos invariant harness: randomized fault schedules + safety checks.
+"""Chaos case runner: replay, quiescence, invariants, history audit.
 
-``repro chaos`` replays one trace many times, each run under a different
-seeded random fault schedule (crashes, recoveries, gray failures, heartbeat
-mutes, message loss, delay, network partitions, Monitor crashes), then
-drives the cluster to quiescence and checks the safety invariants the
-metadata service must uphold no matter what the network did:
+``run_case`` replays one workload under one fault schedule, drives the
+cluster to quiescence and checks the safety invariants the metadata
+service must uphold no matter what the network did:
 
 1. **Single live ownership** — every placed metadata node is owned by at
    least one server, and no owner is dead (for local-layer subtrees that
@@ -25,12 +23,14 @@ metadata service must uphold no matter what the network did:
    ledger kept outside the store under test
    (:class:`repro.storage.DurabilityLedger`).
 
-With ``--store wal``/``sqlite`` the schedule generator also draws the
-kill9 family (``kill9``, ``torn_write``, ``corrupt_record``): crashes that
-wipe volatile state — including the epoch fence — so rejoin must replay
-snapshot + WAL tail from the store before re-fencing.
+With ``history=True`` the run additionally records the complete
+client-visible operation history and audits it with
+:func:`repro.chaos.history.audit_history` — exactly-once acks, per-client
+session monotonicity, epoch-fence safety and no-lost-acked-mutation —
+which is strictly stronger than the end-state invariants above (see that
+module's docstring). ``repro hunt`` always runs with the history audit on.
 
-Every schedule is generated from the case seed alone, and each event
+Every generated schedule comes from the case seed alone, and each event
 round-trips through the ``--fault`` grammar — on a violation the harness
 dumps the exact ``repro simulate --fault ...`` invocation that replays the
 failing run deterministically.
@@ -38,13 +38,14 @@ failing run deterministically.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro import registry
+from repro.chaos.history import OpHistory, audit_history
+from repro.chaos.schedule import generate_plan
 from repro.placement import DEAD_CAPACITY
-from repro.simulation.faults import FaultEvent, FaultPlan
+from repro.simulation.faults import FaultPlan
 from repro.simulation.network import mds_addr
 from repro.simulation.runner import ClusterSimulator, SimulationConfig
 from repro.traces.generator import GeneratedWorkload
@@ -55,7 +56,6 @@ __all__ = [
     "CHAOS_LEASE_TIMEOUT",
     "ChaosCase",
     "ChaosReport",
-    "generate_plan",
     "run_case",
     "run_chaos",
 ]
@@ -67,125 +67,6 @@ __all__ = [
 CHAOS_HEARTBEAT_INTERVAL = 0.01
 CHAOS_HEARTBEAT_TIMEOUT = 0.03
 CHAOS_LEASE_TIMEOUT = 0.05
-
-
-# ----------------------------------------------------------------------
-# Schedule generation
-# ----------------------------------------------------------------------
-
-#: Fault kinds the generator draws from, with selection weights. Partition
-#: and crash dominate because they exercise the interesting machinery
-#: (eviction, re-homing, fencing, failover); the rest add background noise.
-_KIND_WEIGHTS = (
-    ("crash", 3),
-    ("partition", 3),
-    ("drop_heartbeats", 2),
-    ("loss", 2),
-    ("fail_slow", 1),
-    ("delay", 1),
-    ("monitor_crash", 2),
-)
-
-#: Extra kinds drawn only for durable-store runs (``durability=True``):
-#: crashes with volatile-state loss, optionally plus injected WAL-tail
-#: damage. Kept out of the base table so existing seeds generate the exact
-#: schedules they always did.
-_DURABILITY_KIND_WEIGHTS = (
-    ("kill9", 3),
-    ("torn_write", 2),
-    ("corrupt_record", 2),
-)
-
-#: Kinds that take a server fully down (they share the concurrent-crash cap).
-_DOWN_KINDS = frozenset({"crash", "kill9", "torn_write", "corrupt_record"})
-
-
-def _partition_spec(
-    rng: random.Random, num_servers: int, num_monitors: int
-) -> str:
-    """Random two-sided split of the cluster interconnect (group text)."""
-    left = sorted(rng.sample(range(num_servers), rng.randint(1, num_servers - 1)))
-    right = [s for s in range(num_servers) if s not in left]
-    sides = [
-        [str(s) for s in left],
-        [str(s) for s in right],
-    ]
-    for replica in range(num_monitors):
-        sides[rng.randrange(2)].append(f"m{replica}")
-    return "|".join("{" + ",".join(side) + "}" for side in sides)
-
-
-def generate_plan(
-    seed: int,
-    total_ops: int,
-    num_servers: int,
-    num_monitors: int,
-    durability: bool = False,
-) -> FaultPlan:
-    """Seeded random fault schedule for one chaos case.
-
-    The schedule is *closed*: every degradation (crash, mute, loss, delay,
-    gray failure, partition, Monitor crash) gets a matching recovery event
-    later in the run, triggered by completed-op count so the whole schedule
-    replays deterministically through ``repro simulate --fault``. Concurrent
-    crashes are capped below a majority of the cluster so re-homing always
-    has somewhere to go. Under heavy faults the closing events may never
-    trigger (completions stall); the harness's explicit quiescence pass
-    covers that tail.
-
-    With ``durability=True`` the kill9 family joins the draw (volatile-loss
-    crashes and WAL-tail damage — only meaningful against a durable store).
-    The flag widens the kind table rather than reweighting it, so existing
-    seeds without it keep generating their historical schedules.
-    """
-    if num_servers < 3:
-        raise ValueError("chaos schedules need at least three servers")
-    if total_ops < 40:
-        raise ValueError("chaos schedules need at least 40 operations")
-    rng = random.Random((seed << 16) ^ 0x5EED)
-    open_lo = max(1, total_ops // 20)
-    open_hi = max(open_lo + 1, total_ops * 11 // 20)
-    close_hi = max(open_hi + 2, total_ops * 3 // 4)
-    gap = max(1, total_ops // 10)
-    table = _KIND_WEIGHTS + (_DURABILITY_KIND_WEIGHTS if durability else ())
-    kinds = [kind for kind, _ in table]
-    weights = [weight for _, weight in table]
-    max_down = max(1, (num_servers - 1) // 2)
-    crash_windows: List[tuple] = []
-    specs: List[str] = []
-    for _ in range(rng.randint(3, 6)):
-        kind = rng.choices(kinds, weights=weights)[0]
-        start = rng.randint(open_lo, open_hi)
-        stop = rng.randint(min(start + gap, close_hi - 1), close_hi)
-        if kind == "partition":
-            groups = _partition_spec(rng, num_servers, num_monitors)
-            specs.append(f"partition:{groups}@ops={start}")
-            specs.append(f"heal:{groups}@ops={stop}")
-            continue
-        if kind == "monitor_crash":
-            replica = rng.randrange(num_monitors)
-            specs.append(f"monitor_crash:{replica}@ops={start}")
-            specs.append(f"monitor_recover:{replica}@ops={stop}")
-            continue
-        server = rng.randrange(num_servers)
-        if kind in _DOWN_KINDS:
-            overlapping = sum(
-                1 for lo, hi in crash_windows if lo < stop and start < hi
-            )
-            if overlapping >= max_down:
-                kind = "fail_slow"  # keep a serving majority
-            else:
-                crash_windows.append((start, stop))
-        suffix = ""
-        if kind == "fail_slow":
-            suffix = f":x{rng.choice((2, 4, 8))}"
-        elif kind == "loss":
-            suffix = f":p{rng.choice((0.1, 0.25, 0.5))}"
-        elif kind == "delay":
-            suffix = f":d{rng.choice((0.001, 0.005, 0.02))}"
-        specs.append(f"{kind}:{server}@ops={start}{suffix}")
-        specs.append(f"recover:{server}@ops={stop}")
-    return FaultPlan(FaultEvent.parse(spec) for spec in specs)
 
 
 # ----------------------------------------------------------------------
@@ -354,6 +235,8 @@ class ChaosCase:
     store: str = "memory"
     #: Store counters + ledger roll-up (None for the memory store).
     durability: Optional[dict] = None
+    #: Operation-history roll-up (None unless the case recorded one).
+    history: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -375,11 +258,13 @@ class ChaosCase:
             "messages_dropped": self.messages_dropped,
             "messages_delayed": self.messages_delayed,
         }
-        # Key present only for durable-store runs: memory-store reports
-        # keep their historical shape.
+        # Keys present only when the feature ran: memory-store and
+        # history-off reports keep their historical shape.
         if self.durability is not None:
             case["store"] = self.store
             case["durability"] = dict(self.durability)
+        if self.history is not None:
+            case["history"] = dict(self.history)
         return case
 
     def replay_args(self) -> List[str]:
@@ -431,6 +316,7 @@ def run_case(
     store: str = "memory",
     store_dir: Optional[str] = None,
     trace_sample: int = 0,
+    history: bool = False,
 ) -> ChaosCase:
     """One seeded chaos run: schedule, replay, quiesce, check.
 
@@ -438,7 +324,9 @@ def run_case(
     family in generated schedules and the fifth (durability) invariant.
     ``trace_sample`` > 0 records causal spans for every Nth op plus the
     failover/recovery lifecycle (read them off ``sim.spans`` or export via
-    ``repro simulate --trace-sample`` for the CLI path).
+    ``repro simulate --trace-sample`` for the CLI path). ``history=True``
+    records the full client-visible operation history and appends the
+    :func:`~repro.chaos.history.audit_history` violations to the case.
     """
     durable = store != "memory"
     if plan is None:
@@ -463,10 +351,37 @@ def run_case(
         trace_sample=trace_sample,
     )
     sim = ClusterSimulator(scheme, workload, num_servers, config)
+    hist: Optional[OpHistory] = None
+    if history:
+        hist = OpHistory()
+        sim.history = hist
     try:
         result = sim.run()
         _quiesce(sim, result.makespan)
         violations = _check_invariants(sim, result)
+        if hist is not None:
+            ledgers = None
+            if sim.store_on:
+                # Ledger ids are 1-based durable sequences; history op ids
+                # are 0-based issue indices — shift once here.
+                ledgers = {
+                    server.server_id: {
+                        dseq - 1
+                        for dseq in sim.store.recover_server(
+                            server.server_id
+                        ).acked_ops
+                    }
+                    for server in sim.servers
+                }
+            violations.extend(
+                audit_history(
+                    hist,
+                    final_epoch=sim.monitor.epoch,
+                    closed_loop=True,
+                    ledgers=ledgers,
+                    durable_ledgers=sim.store_on,
+                )
+            )
         if sim.store_on:
             # Recompute after quiescence: the quiesce pass itself performs
             # recovery replays, which result.durability (snapshotted when
@@ -489,6 +404,7 @@ def run_case(
             messages_delayed=sim.network.messages_delayed,
             store=sim.store.name,
             durability=result.durability,
+            history=hist.counts() if hist is not None else None,
         )
     finally:
         sim.close()
@@ -504,6 +420,8 @@ def run_chaos(
     store: str = "memory",
     store_dir: Optional[str] = None,
     trace_sample: int = 0,
+    plan: Optional[FaultPlan] = None,
+    history: bool = False,
 ) -> ChaosReport:
     """Run one chaos case per seed and aggregate the outcomes."""
     report = ChaosReport(
@@ -521,9 +439,11 @@ def run_chaos(
                 seed,
                 num_monitors=num_monitors,
                 routing_engine=routing_engine,
+                plan=plan,
                 store=store,
                 store_dir=store_dir,
                 trace_sample=trace_sample,
+                history=history,
             )
         )
     return report

@@ -1,0 +1,135 @@
+"""Seeded random fault-schedule generation (the chaos fuzzer's front end).
+
+Moved verbatim from the original ``repro/chaos.py`` module: the draw
+sequence is pinned by tests and by every replay command ever dumped, so a
+given ``(seed, total_ops, num_servers, num_monitors, durability)`` tuple
+must keep producing the byte-identical schedule it always did.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.simulation.faults import FaultEvent, FaultPlan
+
+__all__ = [
+    "generate_plan",
+    "_KIND_WEIGHTS",
+    "_DURABILITY_KIND_WEIGHTS",
+    "_DOWN_KINDS",
+]
+
+#: Fault kinds the generator draws from, with selection weights. Partition
+#: and crash dominate because they exercise the interesting machinery
+#: (eviction, re-homing, fencing, failover); the rest add background noise.
+_KIND_WEIGHTS = (
+    ("crash", 3),
+    ("partition", 3),
+    ("drop_heartbeats", 2),
+    ("loss", 2),
+    ("fail_slow", 1),
+    ("delay", 1),
+    ("monitor_crash", 2),
+)
+
+#: Extra kinds drawn only for durable-store runs (``durability=True``):
+#: crashes with volatile-state loss, optionally plus injected WAL-tail
+#: damage. Kept out of the base table so existing seeds generate the exact
+#: schedules they always did.
+_DURABILITY_KIND_WEIGHTS = (
+    ("kill9", 3),
+    ("torn_write", 2),
+    ("corrupt_record", 2),
+)
+
+#: Kinds that take a server fully down (they share the concurrent-crash cap).
+_DOWN_KINDS = frozenset({"crash", "kill9", "torn_write", "corrupt_record"})
+
+
+def _partition_spec(
+    rng: random.Random, num_servers: int, num_monitors: int
+) -> str:
+    """Random two-sided split of the cluster interconnect (group text)."""
+    left = sorted(rng.sample(range(num_servers), rng.randint(1, num_servers - 1)))
+    right = [s for s in range(num_servers) if s not in left]
+    sides = [
+        [str(s) for s in left],
+        [str(s) for s in right],
+    ]
+    for replica in range(num_monitors):
+        sides[rng.randrange(2)].append(f"m{replica}")
+    return "|".join("{" + ",".join(side) + "}" for side in sides)
+
+
+def generate_plan(
+    seed: int,
+    total_ops: int,
+    num_servers: int,
+    num_monitors: int,
+    durability: bool = False,
+) -> FaultPlan:
+    """Seeded random fault schedule for one chaos case.
+
+    The schedule is *closed*: every degradation (crash, mute, loss, delay,
+    gray failure, partition, Monitor crash) gets a matching recovery event
+    later in the run, triggered by completed-op count so the whole schedule
+    replays deterministically through ``repro simulate --fault``. Concurrent
+    crashes are capped below a majority of the cluster so re-homing always
+    has somewhere to go. Under heavy faults the closing events may never
+    trigger (completions stall); the harness's explicit quiescence pass
+    covers that tail.
+
+    With ``durability=True`` the kill9 family joins the draw (volatile-loss
+    crashes and WAL-tail damage — only meaningful against a durable store).
+    The flag widens the kind table rather than reweighting it, so existing
+    seeds without it keep generating their historical schedules.
+    """
+    if num_servers < 3:
+        raise ValueError("chaos schedules need at least three servers")
+    if total_ops < 40:
+        raise ValueError("chaos schedules need at least 40 operations")
+    rng = random.Random((seed << 16) ^ 0x5EED)
+    open_lo = max(1, total_ops // 20)
+    open_hi = max(open_lo + 1, total_ops * 11 // 20)
+    close_hi = max(open_hi + 2, total_ops * 3 // 4)
+    gap = max(1, total_ops // 10)
+    table = _KIND_WEIGHTS + (_DURABILITY_KIND_WEIGHTS if durability else ())
+    kinds = [kind for kind, _ in table]
+    weights = [weight for _, weight in table]
+    max_down = max(1, (num_servers - 1) // 2)
+    crash_windows: List[tuple] = []
+    specs: List[str] = []
+    for _ in range(rng.randint(3, 6)):
+        kind = rng.choices(kinds, weights=weights)[0]
+        start = rng.randint(open_lo, open_hi)
+        stop = rng.randint(min(start + gap, close_hi - 1), close_hi)
+        if kind == "partition":
+            groups = _partition_spec(rng, num_servers, num_monitors)
+            specs.append(f"partition:{groups}@ops={start}")
+            specs.append(f"heal:{groups}@ops={stop}")
+            continue
+        if kind == "monitor_crash":
+            replica = rng.randrange(num_monitors)
+            specs.append(f"monitor_crash:{replica}@ops={start}")
+            specs.append(f"monitor_recover:{replica}@ops={stop}")
+            continue
+        server = rng.randrange(num_servers)
+        if kind in _DOWN_KINDS:
+            overlapping = sum(
+                1 for lo, hi in crash_windows if lo < stop and start < hi
+            )
+            if overlapping >= max_down:
+                kind = "fail_slow"  # keep a serving majority
+            else:
+                crash_windows.append((start, stop))
+        suffix = ""
+        if kind == "fail_slow":
+            suffix = f":x{rng.choice((2, 4, 8))}"
+        elif kind == "loss":
+            suffix = f":p{rng.choice((0.1, 0.25, 0.5))}"
+        elif kind == "delay":
+            suffix = f":d{rng.choice((0.001, 0.005, 0.02))}"
+        specs.append(f"{kind}:{server}@ops={start}{suffix}")
+        specs.append(f"recover:{server}@ops={stop}")
+    return FaultPlan(FaultEvent.parse(spec) for spec in specs)

@@ -5,6 +5,8 @@ Commands
 generate   synthesise a trace (Table I profile) and write it to a file
 evaluate   partition a generated workload and print the paper metrics
 simulate   replay a workload through the cluster simulator (Fig. 5 style)
+chaos      randomized fault schedules + invariant / history audits
+hunt       adversarial chaos search: fuzz, audit histories, shrink
 serve      run a real asyncio cluster (sockets, tasks) under client load
 validate   replay one seeded workload through both transports and diff
 figure     regenerate one figure's data series (CSV, or --chart for ASCII)
@@ -268,8 +270,59 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record causal spans for every Nth op in each "
                             "case (the failover/recovery lifecycle is "
                             "always spanned when sampling is on)")
+    chaos.add_argument("--history", action="store_true",
+                       help="record the full client-visible operation "
+                            "history per case and audit it (exactly-once "
+                            "acks, session order, epoch fencing, "
+                            "no-lost-acked-mutation; see docs/CHAOS.md)")
+    add_fault_args(chaos)
     chaos.add_argument("--json", action="store_true",
                        help="emit the full ChaosReport as JSON")
+
+    hunt = sub.add_parser(
+        "hunt",
+        help="adversarial chaos search: fuzz fault schedules, audit "
+             "operation histories, shrink counterexamples",
+    )
+    add_workload_args(hunt)
+    hunt.add_argument("--servers", type=int, default=6)
+    hunt.add_argument("--scheme", choices=registry.available(),
+                      default="d2-tree",
+                      help="scheme under test (default d2-tree)")
+    hunt.add_argument("--monitors", type=int, default=3,
+                      help="Monitor group size (default 3)")
+    hunt.add_argument("--seeds", type=int, default=20,
+                      help="number of fuzzed case seeds (default 20)")
+    hunt.add_argument("--seed-base", type=int, default=0,
+                      help="first case seed; cases use seed-base..+seeds-1")
+    hunt.add_argument("--ops", type=int, default=None,
+                      help="truncate the trace to this many operations")
+    hunt.add_argument("--store", choices=list(STORE_BACKENDS),
+                      default="memory",
+                      help="persistence backend; wal/sqlite turn on the "
+                           "kill9 fault family and the durability audits "
+                           "(default memory)")
+    hunt.add_argument("--store-dir", metavar="DIR", default=None,
+                      help="directory for the durable store backends "
+                           "(default: a self-cleaning temp dir)")
+    hunt.add_argument("--no-shrink", action="store_true",
+                      help="report findings without minimizing them")
+    hunt.add_argument("--max-probes", type=int, default=200,
+                      help="shrink budget: extra chaos runs per finding "
+                           "(default 200)")
+    hunt.add_argument("--live", action="store_true",
+                      help="also replay every schedule through the live "
+                           "asyncio transport (informational; only the "
+                           "deterministic simulator drives shrinking)")
+    hunt.add_argument("--socket-dir", metavar="DIR", default=None,
+                      help="unix socket directory for --live runs")
+    hunt.add_argument("--promote", metavar="DIR", default=None,
+                      help="write minimized counterexamples into DIR as "
+                           "corpus JSON files (see tests/corpus/)")
+    hunt.add_argument("--trends", metavar="FILE", default=None,
+                      help="append a hunt trend record to FILE (JSONL)")
+    hunt.add_argument("--json", action="store_true",
+                      help="emit the full HuntReport as JSON")
 
     def add_serve_args(p: argparse.ArgumentParser) -> None:
         add_workload_args(p)
@@ -548,6 +601,10 @@ def cmd_chaos(args) -> int:
         num_monitors=args.monitors,
     )
     try:
+        # An explicit --fault plan replaces the generated schedule for
+        # every seed — this is how minimized corpus counterexamples (and
+        # `repro hunt` replay commands) re-run deterministically.
+        explicit_plan = parse_fault_plan(args)
         for seed in range(args.seed_base, args.seed_base + args.seeds):
             workload = load_workload(
                 dataclasses.replace(base_profile, seed=seed)
@@ -564,9 +621,11 @@ def cmd_chaos(args) -> int:
                     seed,
                     num_monitors=args.monitors,
                     routing_engine=args.routing_engine,
+                    plan=explicit_plan,
                     store=args.store,
                     store_dir=args.store_dir,
                     trace_sample=args.trace_sample,
+                    history=args.history,
                 )
             )
     except ValueError as error:
@@ -615,6 +674,86 @@ def cmd_chaos(args) -> int:
                 replay_parts.append(f"--store {case.store}")
             replay = " ".join(replay_parts + case.replay_args())
             print(f"  replay: {replay}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_hunt(args) -> int:
+    from repro.chaos import promote_findings, run_hunt
+
+    try:
+        report = run_hunt(
+            args.scheme,
+            args.trace,
+            nodes=args.nodes,
+            scale=args.scale,
+            seeds=range(args.seed_base, args.seed_base + args.seeds),
+            ops=args.ops,
+            num_servers=args.servers,
+            num_monitors=args.monitors,
+            store=args.store,
+            store_dir=args.store_dir,
+            shrink=not args.no_shrink,
+            max_probes=args.max_probes,
+            live=args.live,
+            socket_dir=args.socket_dir,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _maybe_trend("hunt", report.to_dict(), args)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for case in report.cases:
+            status = "ok " if case.ok else "FAIL"
+            hist = case.history
+            line = (
+                f"seed={case.seed:<4d} {status} "
+                f"faults={len(case.specs):<2d} ops={case.operations} "
+                f"acked={hist.get('ok', 0)} "
+                f"failed={hist.get('failed', 0)} "
+                f"indeterminate={hist.get('indeterminate', 0)}"
+            )
+            if case.live_violations is not None:
+                live_ok = "ok" if not case.live_violations else "FAIL"
+                line += f" live={live_ok}"
+            print(line)
+        coverage = " ".join(
+            f"{kind}={report.coverage[kind]}"
+            for kind in sorted(report.coverage)
+        )
+        print(
+            f"{report.scheme} {report.trace} M={report.num_servers} "
+            f"monitors={report.num_monitors} store={report.store}: "
+            f"{len(report.cases) - len(report.findings)}/"
+            f"{len(report.cases)} seeds clean"
+            + (f", {report.probes} shrink probes" if report.probes else "")
+        )
+        print(f"coverage: {coverage}")
+    if args.promote:
+        paths = promote_findings(report, args.promote)
+        for path in paths:
+            print(f"promoted {path}", file=sys.stderr)
+        if not paths:
+            print(f"no minimized findings to promote into {args.promote}",
+                  file=sys.stderr)
+    if not report.ok:
+        for case in report.findings:
+            print(f"\nseed {case.seed} violated invariants:", file=sys.stderr)
+            for violation in case.violations:
+                print(f"  - {violation}", file=sys.stderr)
+            for violation in case.live_violations or ():
+                print(f"  - [live] {violation}", file=sys.stderr)
+            if case.shrink is not None:
+                print(
+                    f"  shrink: {'; '.join(case.shrink.steps) or 'no-op'} "
+                    f"({case.shrink.probes} probes"
+                    + (", budget exhausted" if case.shrink.truncated else "")
+                    + ")",
+                    file=sys.stderr,
+                )
+            print(f"  replay: {case.replay}", file=sys.stderr)
         return 1
     return 0
 
@@ -752,6 +891,15 @@ def cmd_validate(args) -> int:
     if not comparison["ok"]:
         for violation in comparison["violations"]:
             print(f"  - {violation}", file=sys.stderr)
+        return 1
+    if not delta["acked_matches"]:
+        # The two transports acknowledged different operation sets: a
+        # divergence even when each side individually passed its audit.
+        print(
+            f"  - acked mismatch: live acked {live['acked']} vs simulated "
+            f"{sim['operations'] - sim['failed']}",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -1093,6 +1241,7 @@ COMMANDS = {
     "validate": cmd_validate,
     "bench": cmd_bench,
     "chaos": cmd_chaos,
+    "hunt": cmd_hunt,
     "figure": cmd_figure,
     "stats": cmd_stats,
     "report": cmd_report,

@@ -210,6 +210,12 @@ class ClusterSimulator:
         #: Trace records handed to clients (completed + failed + in flight);
         #: the chaos harness balances this against the availability ledger.
         self.ops_issued = 0
+        #: Optional client-visible operation history (duck-typed
+        #: ``repro.chaos.history.OpHistory``), set externally by the chaos
+        #: harness before ``run()``. The runner never imports the chaos
+        #: package; when None (the default) every hook below is skipped and
+        #: replay stays byte-identical. Recording forces the per-op engine.
+        self.history = None
         # Late-created nodes (OpType.CREATE extension) do not exist at
         # partition time: their assignments are forgotten and each scheme
         # places them on first sight.
@@ -524,6 +530,11 @@ class ClusterSimulator:
                 server.kill9()
                 self._crashed_at[event.server] = now
                 self.availability.crashes += 1
+                if self.history is not None:
+                    # Volatile state (fence, counters) is gone: the history
+                    # audit resets this server's epoch floor and — absent a
+                    # durable store — excuses its ledger for earlier acks.
+                    self.history.wipe(event.server, now)
                 if self.durability is not None:
                     self.durability.note_kill(event.server)
                 self.telemetry.event(
@@ -864,6 +875,10 @@ class ClusterSimulator:
             and not self.store_on
             and not self.network.faulty
             and self.network.jitter == 0
+            # History recording needs the per-op lifecycle hooks (invoke /
+            # ack / fail with per-visit servers); the columnar loop has no
+            # per-op control flow to hang them on.
+            and self.history is None
         )
 
     def _run_perop(self) -> SimulationResult:
@@ -901,6 +916,11 @@ class ClusterSimulator:
         rec = self.spans
         rec_on = rec is not None
         mig_budget = self._mig_budget
+        # History fast path: same gate shape once more. Recording an
+        # operation history forces this engine (see _columnar_eligible),
+        # so the invoke/ack/fail hooks live only here.
+        hist = self.history
+        hist_on = hist is not None
         if tel_on:
             m_completed = tel.registry.counter(
                 "ops_completed", help="Operations completed")
@@ -953,8 +973,15 @@ class ClusterSimulator:
             op["attempts"] = attempts
             if attempts > cfg.max_retries:
                 # Retry budget exhausted: the operation *fails* instead
-                # of looping forever; the client moves on.
+                # of looping forever; the client moves on. Simulated
+                # failures are determinate (the model never drops the
+                # completion hop of a served op), so this is a history
+                # ``fail``, never an ``indeterminate``.
                 self.availability.failed_operations += 1
+                if hist_on:
+                    hist.fail(
+                        op["hid"], op["client"].client_id, now, attempts
+                    )
                 if tel_on:
                     m_failed.inc()
                     h_client_retries.observe(float(attempts))
@@ -1054,6 +1081,13 @@ class ClusterSimulator:
                 "node": node,
                 "op": record.op,
             }
+            if hist_on:
+                # Stable history op id: the 0-based issue index (the
+                # durable dseq below is the same counter 1-based). Invoked
+                # before the lost-send branch so a first-attempt loss still
+                # has its invoke on record.
+                op["hid"] = self.ops_issued - 1
+                hist.invoke(op["hid"], client.client_id, start)
             if store_on:
                 # Durable op sequence: stable across retries, so the acked
                 # set the ledger audits is exactly-once per operation.
@@ -1173,6 +1207,14 @@ class ClusterSimulator:
                 store.append_ack(visit.server, op["dseq"], op["path"], completion)
                 ledger.note_ack(visit.server, op["dseq"])
             client = op["client"]
+            if hist_on:
+                # Append order here is per-server serve order (arrivals are
+                # FIFO per server), which is exactly the order the history
+                # audit walks fence epochs in.
+                hist.ok(
+                    op["hid"], client.client_id, completion,
+                    visit.server, server.fence_epoch,
+                )
             redirected = any(v.kind is VisitKind.REDIRECT for v in plan.visits)
             client.note_operation(redirected)
             if redirected:

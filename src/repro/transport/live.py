@@ -39,6 +39,7 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.chaos.history import audit_history
 from repro.cluster.failure import fail_server, rejoin_server
 from repro.cluster.messages import (
     ClientReply,
@@ -350,6 +351,8 @@ class ServeReport:
     journal_entries: int
     messages_dropped: int
     messages_delayed: int
+    #: Ops whose retry budget/deadline ran out with a maybe-sent attempt.
+    indeterminate: int = 0
     faults: List[str] = field(default_factory=list)
     violations: List[str] = field(default_factory=list)
 
@@ -367,6 +370,7 @@ class ServeReport:
             "operations": self.operations,
             "acked": self.acked,
             "failed": self.failed,
+            "indeterminate": self.indeterminate,
             "retries": self.retries,
             "redirects": self.redirects,
             "duration": self.duration,
@@ -431,8 +435,12 @@ class LiveCluster:
         #: Servers evicted by detection and not yet re-admitted.
         self._evicted: Set[int] = set()
         #: True once any kill9-family fault wiped a volatile ack ledger —
-        #: the ledger cross-check is then vacuous and skipped.
+        #: the legacy union ledger cross-check is then vacuous and skipped.
         self.volatile_wipe = False
+        #: server id -> loop times of its volatile wipes, merged into the
+        #: operation history so the audit excuses pre-wipe acks from that
+        #: server's (storeless, hence lost) ledger.
+        self.wipes: Dict[int, List[float]] = {}
         self.applied_faults: List[str] = []
 
     # ------------------------------------------------------------------
@@ -560,6 +568,9 @@ class LiveCluster:
             # the volatile image (the torn/corrupt variants only differ in
             # what a WAL replay would face).
             self.volatile_wipe = True
+            self.wipes.setdefault(event.server, []).append(
+                asyncio.get_running_loop().time()
+            )
             await self.servers[event.server].crash(wipe=True)
         elif kind is FaultKind.RECOVER:
             await self.servers[event.server].recover()
@@ -661,9 +672,14 @@ def check_invariants(cluster: LiveCluster, load_report) -> List[str]:
     """The chaos safety invariants, audited against a live cluster.
 
     Same statements as ``repro.chaos._check_invariants`` (1–4), sourced
-    from live state, plus the live ledger check: every op the clients
-    counted acknowledged is present in some MDS's ack ledger (skipped when
-    a kill9 wiped a ledger — live mode has no durable store to replay).
+    from live state, plus the history audit
+    (:func:`repro.chaos.history.audit_history`): exactly-once acks,
+    completeness, per-server epoch-fence safety, and every acked op
+    present in *its acking server's* ledger — strictly stronger than the
+    old union-of-ledgers check, and still meaningful across kill9 wipes
+    (a wiped server's pre-wipe acks are excused rather than the whole
+    check being skipped). The union check remains as the fallback for
+    reports without a recorded history.
     """
     violations: List[str] = []
     placement = cluster.placement
@@ -711,18 +727,36 @@ def check_invariants(cluster: LiveCluster, load_report) -> List[str]:
                 f"{cluster.group.epoch}"
             )
 
-    # 4. Accounting balance at the clients.
+    # 4. Accounting balance at the clients (indeterminate ops are an
+    #    explicit terminal outcome, not an accounting hole).
     issued = load_report.issued
     acked = len(load_report.acked_ids)
     failed = load_report.failed
-    if acked + failed != issued:
+    indeterminate = getattr(load_report, "indeterminate", 0)
+    if acked + failed + indeterminate != issued:
         violations.append(
             f"accounting: issued={issued} but acked={acked} "
-            f"+ failed={failed} = {acked + failed}"
+            f"+ failed={failed} + indeterminate={indeterminate} = "
+            f"{acked + failed + indeterminate}"
         )
 
-    # 5. Ledger consistency: client-acked ⊆ union of MDS ack ledgers.
-    if not cluster.volatile_wipe:
+    # 5. History audit (exactly-once, completeness, epoch fences, per-op
+    #    ledger containment with per-server wipe excuses); the pre-history
+    #    union-of-ledgers check covers reports without one.
+    history = getattr(load_report, "history", None)
+    if history is not None and len(history):
+        ledgers = {s.server_id: set(s.acked) for s in cluster.servers}
+        violations.extend(
+            audit_history(
+                history,
+                final_epoch=cluster.group.epoch,
+                closed_loop=False,
+                ledgers=ledgers,
+                durable_ledgers=False,
+                wipes=cluster.wipes,
+            )
+        )
+    elif not cluster.volatile_wipe:
         server_acked: Set[int] = set()
         for server in cluster.servers:
             server_acked |= server.acked

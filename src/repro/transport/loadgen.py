@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.chaos.history import OpHistory
 from repro.cluster.messages import ClientReply, ClientRequest
 from repro.transport.asyncio_net import AsyncioTransport
 from repro.transport.base import CLIENT_ADDR, mds_addr
@@ -33,9 +34,21 @@ __all__ = [
     "LoadConfig",
     "LoadReport",
     "LoadGenerator",
+    "RequestUnsent",
     "latency_summary",
     "trace_ops",
 ]
+
+
+class RequestUnsent(ConnectionError):
+    """The attempt failed before anything reached the wire.
+
+    Raised when the connect itself fails — the one case where the client
+    *knows* the request cannot have been applied. Every other failure
+    (timeout, reset after send) may have been applied server-side, so an
+    op that exhausts its budget with any such attempt must be recorded as
+    indeterminate rather than failed.
+    """
 
 
 @dataclass
@@ -53,6 +66,11 @@ class LoadConfig:
     #: In-flight cap protecting the event loop; hitting it is reported as
     #: ``saturated`` (the run degraded from open- to closed-loop there).
     max_inflight: int = 1024
+    #: Per-op wall-clock deadline: an op still retrying this long after its
+    #: first attempt gives up even with retries left, so a long partition
+    #: cannot pin clients forever. Exhaustion with any maybe-sent attempt
+    #: is recorded as *indeterminate*, not failed.
+    op_deadline: float = 5.0
     seed: int = 7
 
 
@@ -62,13 +80,19 @@ class LoadReport:
 
     issued: int = 0
     failed: int = 0
+    #: Ops that exhausted their budget with at least one maybe-sent
+    #: attempt — the client cannot know whether they were applied.
+    indeterminate: int = 0
     retries: int = 0
     redirects: int = 0
     #: Dispatches that found the in-flight cap exhausted.
     saturated: int = 0
     duration: float = 0.0
     acked_ids: Set[int] = field(default_factory=set)
+    indeterminate_ids: Set[int] = field(default_factory=set)
     latencies: List[float] = field(default_factory=list)
+    #: Complete client-visible operation history (set by the generator).
+    history: Optional[OpHistory] = None
 
     @property
     def acked(self) -> int:
@@ -156,13 +180,18 @@ class _ServerConn:
     ) -> ClientReply:
         """Send one request and await its correlated reply.
 
-        Raises ``ConnectionError`` / ``OSError`` when the stream is dead
+        Raises :class:`RequestUnsent` when the connect fails (nothing hit
+        the wire — determinately not applied), ``ConnectionError`` /
+        ``OSError`` when the stream died after the send may have started,
         and ``asyncio.TimeoutError`` when no reply lands in time (which is
         also what a fabric-dropped request or reply frame looks like).
         """
         loop = asyncio.get_running_loop()
         async with self._lock:
-            await self._ensure()
+            try:
+                await self._ensure()
+            except (ConnectionError, OSError) as exc:
+                raise RequestUnsent(str(exc)) from exc
             writer = self._writer
         future: asyncio.Future = loop.create_future()
         self._pending[request.op_id] = future
@@ -205,7 +234,10 @@ class LoadGenerator:
         #: ``(op_id, path, op_value)`` triples, op_id stable across retries.
         self.ops = list(ops)
         self.cfg = cfg or LoadConfig()
-        self.report = LoadReport(issued=len(self.ops))
+        #: Client-visible operation history (invoke/ok/fail/indeterminate),
+        #: audited by the live invariant check after quiescence.
+        self.history = OpHistory()
+        self.report = LoadReport(issued=len(self.ops), history=self.history)
         self._conns: Dict[int, _ServerConn] = {}
         self._done = 0
 
@@ -270,14 +302,34 @@ class LoadGenerator:
         rng = random.Random((cfg.seed << 20) ^ (op_id * 2654435761 % 2**31))
         request = ClientRequest(op_id=op_id, path=path, op=op_value)
         start = loop.time()
+        self.history.invoke(op_id, -1, start)
+        deadline = start + cfg.op_deadline
         target = entry
+        # True once any attempt may have reached a server (sent then timed
+        # out / reset) — the client can no longer prove the op unapplied.
+        maybe_applied = False
+        attempts = 0
         try:
             for attempt in range(cfg.max_retries):
+                if loop.time() >= deadline:
+                    break
+                attempts += 1
                 try:
                     reply = await self._conn(target).request(
                         request, cfg.request_timeout
                     )
+                except RequestUnsent:
+                    # Never hit the wire: determinately not applied.
+                    self.report.retries += 1
+                    backoff = min(
+                        cfg.retry_backoff_cap,
+                        cfg.retry_backoff_base * (2 ** attempt),
+                    )
+                    await asyncio.sleep(backoff * (0.5 + rng.random()))
+                    target = rng.randrange(self.num_servers)
+                    continue
                 except (ConnectionError, OSError, asyncio.TimeoutError):
+                    maybe_applied = True
                     self.report.retries += 1
                     backoff = min(
                         cfg.retry_backoff_cap,
@@ -289,19 +341,30 @@ class LoadGenerator:
                 if reply.status == "ack":
                     self.report.acked_ids.add(op_id)
                     self.report.latencies.append(loop.time() - start)
+                    self.history.ok(
+                        op_id, -1, loop.time(), reply.server, reply.epoch
+                    )
                     return
                 if reply.status == "redirect" and reply.owner >= 0:
                     self.report.redirects += 1
                     target = reply.owner
                     continue
                 # "error" (no routing entry yet) or a bogus redirect:
-                # try another entry server after a short backoff.
+                # try another entry server after a short backoff. The
+                # server answered, so the op was determinately not applied
+                # by this attempt.
                 self.report.retries += 1
                 await asyncio.sleep(
                     cfg.retry_backoff_base * (0.5 + rng.random())
                 )
                 target = rng.randrange(self.num_servers)
-            self.report.failed += 1
+            if maybe_applied:
+                self.report.indeterminate += 1
+                self.report.indeterminate_ids.add(op_id)
+                self.history.indeterminate(op_id, -1, loop.time(), attempts)
+            else:
+                self.report.failed += 1
+                self.history.fail(op_id, -1, loop.time(), attempts)
         finally:
             self._done += 1
             gate.release()

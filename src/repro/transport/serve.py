@@ -77,6 +77,7 @@ async def _serve_async(
             operations=load.issued,
             acked=load.acked,
             failed=load.failed,
+            indeterminate=load.indeterminate,
             retries=load.retries,
             redirects=load.redirects,
             duration=load.duration,

@@ -1,0 +1,84 @@
+"""The committed chaos regression corpus stays green and replayable.
+
+``tests/corpus/*.json`` pins minimized fault schedules that historically
+exposed (or nearly exposed) an invariant violation. Every case here must
+replay clean through the deterministic simulator — with the full history
+audit on — and through the live asyncio transport. A red replay means a
+regression of the exact bug class the case was promoted for.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import (
+    CorpusCase,
+    load_corpus,
+    replay_case_live,
+    replay_case_sim,
+    save_case,
+)
+from repro.cli import build_parser
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def case_ids(cases):
+    return [case.name for case in cases]
+
+
+def test_corpus_is_committed_and_nonempty():
+    assert len(CORPUS) >= 3
+
+
+def test_corpus_names_match_content_hashes():
+    for case in CORPUS:
+        assert case.name == f"case-{case.content_hash()[:10]}"
+
+
+def test_corpus_round_trips_through_json(tmp_path):
+    for case in CORPUS:
+        path = save_case(case, str(tmp_path))
+        with open(path, encoding="utf-8") as handle:
+            reloaded = CorpusCase.from_dict(json.load(handle))
+        assert reloaded.to_dict() == case.to_dict()
+
+
+def test_corpus_rejects_unknown_trace_profile():
+    with pytest.raises(ValueError, match="unknown trace profile"):
+        CorpusCase(
+            scheme="d2-tree", trace="nope", nodes=10, scale=1.0, seed=0,
+            num_servers=3, num_monitors=1, faults=[],
+        )
+
+
+def test_replay_commands_parse_through_the_cli():
+    parser = build_parser()
+    for case in CORPUS:
+        argv = case.replay_command().split()
+        assert argv[0] == "repro"
+        args = parser.parse_args(argv[1:])
+        assert args.command == "chaos"
+        assert args.history
+        assert args.seed_base == case.seed and args.seeds == 1
+        assert args.fault == case.faults
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=case_ids(CORPUS))
+def test_corpus_replays_green_in_the_simulator(case, tmp_path):
+    replayed = replay_case_sim(case, store_dir=str(tmp_path))
+    assert replayed.violations == []
+    assert replayed.operations + replayed.failed_operations > 0
+    assert replayed.history is not None
+    assert replayed.history["ok"] == replayed.operations
+
+
+@pytest.mark.parametrize("case", CORPUS, ids=case_ids(CORPUS))
+def test_corpus_replays_green_through_the_live_transport(case, tmp_path):
+    report = replay_case_live(case, socket_dir=str(tmp_path))
+    assert report.violations == []
+    assert report.acked + report.failed + report.indeterminate == (
+        report.operations
+    )

@@ -437,3 +437,49 @@ def test_legacy_failures_tuple_still_works(workload):
     assert result.availability.crashes == 1
     assert not sim.servers[2].alive
     assert result.operations == len(workload.trace)
+
+
+# ----------------------------------------------------------------------
+# kill9 family: grammar + validation rejection paths
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec", [
+    "kill9:1@ops=700",
+    "torn_write:2@ops=900",
+    "corrupt_record:0@t=3",
+])
+def test_kill9_family_round_trips(spec):
+    event = FaultEvent.parse(spec)
+    assert event.to_spec() == spec
+    assert FaultEvent.parse(event.to_spec()) == event
+
+
+@pytest.mark.parametrize("spec", [
+    "kill9:1",                     # no trigger
+    "kill9@ops=5",                 # no server
+    "torn_write:-1@ops=5",         # negative target
+    "corrupt_record:1@soon=5",     # bad trigger key
+])
+def test_kill9_family_parse_rejects(spec):
+    with pytest.raises(ValueError):
+        FaultEvent.parse(spec)
+
+
+@pytest.mark.parametrize("spec", [
+    "kill9:4@ops=10",
+    "torn_write:9@ops=10",
+    "corrupt_record:4@t=1",
+])
+def test_validate_rejects_kill9_family_out_of_range(spec):
+    with pytest.raises(ValueError, match="server"):
+        plan(spec).validate(4)
+
+
+def test_validate_warns_on_recover_after_kill9_only_plans():
+    # kill9 counts as a down event, so a recover after it is not an
+    # orphan — no warning expected.
+    import warnings as _warnings
+
+    schedule = plan("kill9:1@ops=100", "recover:1@ops=500")
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        assert schedule.validate(4) is schedule

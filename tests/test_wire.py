@@ -226,3 +226,38 @@ def test_non_object_payload_is_rejected():
 def test_garbage_payload_is_rejected():
     with pytest.raises(FrameError, match="undecodable"):
         decode_payload(b"\xff\xfe not json")
+
+
+def test_frame_just_under_cap_round_trips():
+    # A frame that nearly fills the cap must still be accepted on both the
+    # encode and the read side (the cap guards runaway peers, not big but
+    # legitimate payloads).
+    payload = {"pad": "x" * (MAX_FRAME_BYTES - 64)}
+    assert _read_one(encode_frame(payload)) == payload
+
+
+def test_good_frame_then_torn_tail_fails_only_the_tail():
+    # A torn frame after a good one must not poison the earlier decode:
+    # the reader hands back the complete frame, then reports the tear.
+    from repro.transport.wire import read_frame
+
+    good = {"v": WIRE_VERSION, "type": "visit", "server": 1, "kind": "entry"}
+    frame = encode_frame(good)
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame + frame[: len(frame) // 2])
+        reader.feed_eof()
+        first = await read_frame(reader)
+        with pytest.raises(FrameError, match="frame body"):
+            await read_frame(reader)
+        return first
+
+    assert asyncio.run(go()) == good
+
+
+def test_torn_length_prefix_alone_raises_header_error():
+    # Fewer than four bytes cannot even carry the length prefix.
+    for size in (1, 2, 3):
+        with pytest.raises(FrameError, match="frame header"):
+            _read_one(b"\x7f" * size)
